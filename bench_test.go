@@ -1,0 +1,226 @@
+// Package akb_test benchmarks every experiment of the reproduction: one
+// benchmark per paper table/figure (E1-E7 in DESIGN.md) plus per-method
+// fusion benchmarks. Run with:
+//
+//	go test -bench=. -benchmem
+package akb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"akb/internal/align"
+	"akb/internal/core"
+	"akb/internal/eval"
+	"akb/internal/experiments"
+	"akb/internal/fusion"
+	"akb/internal/rdf"
+)
+
+// BenchmarkTable1KBStats regenerates Table 1 (E1): materialising the four
+// representative KBs and counting entities and attributes.
+func BenchmarkTable1KBStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(int64(i + 1))
+		if len(rows) != 4 {
+			b.Fatal("bad Table 1")
+		}
+	}
+}
+
+// BenchmarkTable2KBExtraction regenerates Table 2 (E2): synthetic DBpedia
+// and Freebase generation plus existing-KB attribute extraction and
+// combination.
+func BenchmarkTable2KBExtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(int64(i + 1))
+		if len(rows) != 5 {
+			b.Fatal("bad Table 2")
+		}
+	}
+}
+
+// BenchmarkTable3QueryStream regenerates Table 3 (E3) at three stream
+// scales; /100 is the default experiment scale (292,839 records).
+func BenchmarkTable3QueryStream(b *testing.B) {
+	for _, scale := range []int{1000, 200, 100} {
+		records := 29283918 / scale
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows := experiments.Table3(experiments.Table3Config{Seed: int64(i + 1), Scale: scale})
+				if len(rows) != 5 {
+					b.Fatal("bad Table 3")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure1Pipeline runs the full extraction+fusion pipeline (E4).
+func BenchmarkFigure1Pipeline(b *testing.B) {
+	cfg := core.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Pipeline(cfg)
+		if rep.AugmentedTriples == 0 {
+			b.Fatal("empty pipeline")
+		}
+	}
+}
+
+// BenchmarkAlgorithm1DOMExtraction measures Algorithm 1 (E5) across website
+// counts: DOM parsing, entity recognition, tag-path induction and
+// extraction.
+func BenchmarkAlgorithm1DOMExtraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.DOMSweep(int64(i + 1))
+		if len(rows) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkFusionMethods measures each fusion method (E6) on the same
+// pipeline-derived claim set.
+func BenchmarkFusionMethods(b *testing.B) {
+	res := core.Run(core.DefaultConfig())
+	claims := fusion.BuildClaims(res.Statements, fusion.BySourceExtractor)
+	scorer := &eval.Scorer{World: res.World}
+	for _, m := range fusion.AllMethods(res.World.Hier) {
+		m := m
+		b.Run(m.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var metrics eval.Metrics
+			for i := 0; i < b.N; i++ {
+				r := m.Fuse(claims)
+				metrics = scorer.ScoreFusion(r)
+			}
+			b.ReportMetric(metrics.Precision(), "precision")
+			b.ReportMetric(metrics.Recall(), "recall")
+			b.ReportMetric(metrics.F1(), "F1")
+		})
+	}
+}
+
+// BenchmarkFusionAblations measures the E7 ablation suite end to end.
+func BenchmarkFusionAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Ablations(int64(i + 1))
+		if len(rows) != 8 {
+			b.Fatal("bad ablations")
+		}
+	}
+}
+
+// BenchmarkClaimBuilding measures grouping raw statements into fusion
+// claims, the shuffle step every fusion run pays.
+func BenchmarkClaimBuilding(b *testing.B) {
+	res := core.Run(core.DefaultConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := fusion.BuildClaims(res.Statements, fusion.BySourceExtractor)
+		if len(c.Items) == 0 {
+			b.Fatal("no claims")
+		}
+	}
+}
+
+// BenchmarkAugmentedExport measures N-Triples serialisation of the final KB.
+func BenchmarkAugmentedExport(b *testing.B) {
+	res := core.Run(core.DefaultConfig())
+	triples := res.Augmented.All()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := rdf.WriteNTriples(discard{}, triples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkAlignment measures the pre-fusion normalisation step on a
+// synonym- and typo-laden pipeline output (E8).
+func BenchmarkAlignment(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Sites.SynonymProb = 0.3
+	cfg.Sites.TypoProb = 0.1
+	res := core.Run(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _ := align.Normalize(res.Statements, align.DefaultConfig())
+		if len(out) == 0 {
+			b.Fatal("empty alignment output")
+		}
+	}
+}
+
+// BenchmarkEntityDiscovery measures the coverage sweep of the joint
+// entity-linking-and-discovery extension (E9).
+func BenchmarkEntityDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.EntityDiscovery(int64(i + 1))
+		if len(rows) != 4 {
+			b.Fatal("bad discovery sweep")
+		}
+	}
+}
+
+// BenchmarkCalibration measures belief-bucket calibration (E10).
+func BenchmarkCalibration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Calibration(int64(i+1), 10)
+		if len(rows) != 10 {
+			b.Fatal("bad calibration")
+		}
+	}
+}
+
+// BenchmarkTemporal measures temporal extraction and timeline fusion across
+// the noise sweep (E11).
+func BenchmarkTemporal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Temporal(int64(i + 1))
+		if len(rows) != 4 {
+			b.Fatal("bad temporal sweep")
+		}
+	}
+}
+
+// BenchmarkListExtraction measures multi-record list-page mining.
+func BenchmarkListExtraction(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.ListPages = true
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := core.Run(cfg)
+		if res.Lists.Records == 0 {
+			b.Fatal("no records")
+		}
+	}
+}
+
+// BenchmarkGranularity measures the provenance-granularity comparison (E13).
+func BenchmarkGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Granularity(int64(i + 1))
+		if len(rows) != 6 {
+			b.Fatal("bad granularity rows")
+		}
+	}
+}
+
+// BenchmarkScalability measures the world-size scaling experiment (E14).
+func BenchmarkScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Scalability(int64(i + 1))
+		if len(rows) != 4 {
+			b.Fatal("bad scale rows")
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+
+	"akb/internal/eval"
+	"akb/internal/experiments"
+)
+
+func cmdDOMSweep(args []string) error {
+	fs, seed := newFlagSet("domsweep")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := experiments.DOMSweep(*seed)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Param, r.Value,
+			fmt.Sprintf("%d", r.Discovered),
+			fmt.Sprintf("%.3f", r.Precision),
+			fmt.Sprintf("%.3f", r.StmtPrecision),
+		})
+	}
+	fmt.Println("Algorithm 1 (DOM-tree extraction) parameter sweep:")
+	fmt.Print(eval.FormatTable(
+		[]string{"Parameter", "Value", "Discovered attrs", "Attr precision", "Stmt precision"}, out))
+	return nil
+}
+
+func cmdFusion(args []string) error {
+	fs, seed := newFlagSet("fusion")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := experiments.FusionComparison(*seed)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Workload, r.Method,
+			fmt.Sprintf("%.3f", r.P),
+			fmt.Sprintf("%.3f", r.R),
+			fmt.Sprintf("%.3f", r.F1),
+		})
+	}
+	fmt.Println("Knowledge-fusion method comparison (baselines vs the paper's proposals):")
+	fmt.Print(eval.FormatTable([]string{"Workload", "Method", "Precision", "Recall", "F1"}, out))
+	return nil
+}
+
+func cmdAblation(args []string) error {
+	fs, seed := newFlagSet("ablation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := experiments.Ablations(*seed)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Ablation, r.Variant,
+			fmt.Sprintf("%.3f", r.P),
+			fmt.Sprintf("%.3f", r.R),
+			fmt.Sprintf("%.3f", r.F1),
+		})
+	}
+	fmt.Println("Design-choice ablations (paper §3.2 bullets):")
+	fmt.Print(eval.FormatTable([]string{"Ablation", "Variant", "Precision", "Recall", "F1"}, out))
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+
+	"akb/internal/eval"
+	"akb/internal/experiments"
+)
+
+func cmdCalibration(args []string) error {
+	fs, seed := newFlagSet("calibration")
+	buckets := fs.Int("buckets", 10, "number of belief buckets")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := experiments.Calibration(*seed, *buckets)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("[%.1f, %.1f)", r.Low, r.High),
+			fmt.Sprintf("%d", r.Count),
+			fmt.Sprintf("%.3f", r.MeanBelief),
+			fmt.Sprintf("%.3f", r.Precision),
+		})
+	}
+	fmt.Println("Fused-belief calibration (FULL method): empirical precision per belief bucket")
+	fmt.Print(eval.FormatTable([]string{"Belief bucket", "Pairs", "Mean belief", "Precision"}, out))
+	return nil
+}

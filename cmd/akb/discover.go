@@ -1,0 +1,31 @@
+package main
+
+import (
+	"fmt"
+
+	"akb/internal/eval"
+	"akb/internal/experiments"
+)
+
+func cmdDiscover(args []string) error {
+	fs, seed := newFlagSet("discover")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := experiments.EntityDiscovery(*seed)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%.1f", r.Coverage),
+			fmt.Sprintf("%d", r.UncoveredOnWeb),
+			fmt.Sprintf("%d", r.Discovered),
+			fmt.Sprintf("%d", r.Linked),
+			fmt.Sprintf("%.3f", r.Precision),
+			fmt.Sprintf("%.3f", r.Recall),
+		})
+	}
+	fmt.Println("New entity creation (joint entity linking and discovery) vs KB coverage:")
+	fmt.Print(eval.FormatTable(
+		[]string{"Freebase coverage", "Uncovered on Web", "Discovered", "Linked mentions", "Precision", "Recall"}, out))
+	return nil
+}

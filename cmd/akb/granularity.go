@@ -1,0 +1,26 @@
+package main
+
+import (
+	"fmt"
+
+	"akb/internal/eval"
+	"akb/internal/experiments"
+)
+
+func cmdGranularity(args []string) error {
+	fs, seed := newFlagSet("granularity")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := experiments.Granularity(*seed)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Granularity, r.Method,
+			fmt.Sprintf("%.3f", r.P), fmt.Sprintf("%.3f", r.R), fmt.Sprintf("%.3f", r.F1),
+		})
+	}
+	fmt.Println("Provenance granularity (extractors-as-sources vs per-source provenance):")
+	fmt.Print(eval.FormatTable([]string{"Granularity", "Method", "Precision", "Recall", "F1"}, out))
+	return nil
+}

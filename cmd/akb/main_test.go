@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFastCommandsRun(t *testing.T) {
+	// The heavyweight experiment commands are exercised by the experiments
+	// package; here we smoke-test the CLI plumbing with the fast ones.
+	for _, c := range []struct {
+		name string
+		run  func([]string) error
+		args []string
+	}{
+		{"table1", cmdTable1, nil},
+		{"table2", cmdTable2, nil},
+		{"table3", cmdTable3, []string{"-scale", "2000"}},
+	} {
+		if err := c.run(c.args); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestCommandRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range commands() {
+		if c.name == "" || c.brief == "" || c.run == nil {
+			t.Errorf("incomplete command %+v", c)
+		}
+		if seen[c.name] {
+			t.Errorf("duplicate command %q", c.name)
+		}
+		seen[c.name] = true
+	}
+	for _, want := range []string{"table1", "table2", "table3", "pipeline", "fusion", "ablation", "export", "all"} {
+		if !seen[want] {
+			t.Errorf("command %q missing", want)
+		}
+	}
+}
+
+func TestExportWritesNTriples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run in -short")
+	}
+	path := filepath.Join(t.TempDir(), "kb.nt")
+	if err := cmdExport([]string{"-o", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty export")
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	if err := cmdTable1([]string{"-bogus"}); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

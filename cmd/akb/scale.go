@@ -1,0 +1,31 @@
+package main
+
+import (
+	"fmt"
+
+	"akb/internal/eval"
+	"akb/internal/experiments"
+)
+
+func cmdScale(args []string) error {
+	fs, seed := newFlagSet("scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := experiments.Scalability(*seed)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Entities),
+			fmt.Sprintf("%d", r.Statements),
+			fmt.Sprintf("%d", r.Items),
+			fmt.Sprintf("%d", r.ExtractMS),
+			fmt.Sprintf("%d", r.FuseMS),
+			fmt.Sprintf("%.1f", r.ThroughputKCps),
+		})
+	}
+	fmt.Println("Scalability: pipeline cost vs world size (wall-clock; FULL fusion on the map-reduce executor)")
+	fmt.Print(eval.FormatTable(
+		[]string{"Entities/class", "Statements", "Items", "Extract ms", "Fuse ms", "kClaims/s"}, out))
+	return nil
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"akb/internal/core"
+	"akb/internal/extract"
+)
+
+func cmdShow(args []string) error {
+	fs, seed := newFlagSet("show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res := core.Run(pipelineConfig(*seed))
+	name := strings.Join(fs.Args(), " ")
+	if name == "" {
+		// No entity given: list the ten entities with the most fused facts.
+		counts := map[string]int{}
+		for _, d := range res.Fused.Decisions {
+			counts[extract.AttrFromIRI(d.Item.Subject)] += len(d.Truths)
+		}
+		names := make([]string, 0, len(counts))
+		for n := range counts {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if counts[names[i]] != counts[names[j]] {
+				return counts[names[i]] > counts[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		fmt.Println("usage: akb show [-seed N] <entity name>; best-described entities:")
+		for i, n := range names {
+			if i == 10 {
+				break
+			}
+			fmt.Printf("  %-40s %d facts\n", n, counts[n])
+		}
+		return nil
+	}
+
+	found := false
+	type row struct {
+		attr, value string
+		belief      float64
+		sources     int
+	}
+	var rows []row
+	for _, d := range res.Fused.Decisions {
+		if extract.AttrFromIRI(d.Item.Subject) != name {
+			continue
+		}
+		found = true
+		for _, t := range d.Truths {
+			n := 0
+			if vc := d.Item.Value(t); vc != nil {
+				n = vc.SupportCount()
+			}
+			rows = append(rows, row{
+				attr: extract.AttrFromIRI(d.Item.Predicate), value: t.Value,
+				belief: d.Belief[t.Key()], sources: n,
+			})
+		}
+	}
+	if !found {
+		return fmt.Errorf("no fused knowledge about %q (try akb show with no argument for a list)", name)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].attr != rows[j].attr {
+			return rows[i].attr < rows[j].attr
+		}
+		return rows[i].value < rows[j].value
+	})
+	fmt.Printf("Fused knowledge about %q:\n", name)
+	for _, r := range rows {
+		fmt.Printf("  %-28s = %-28s belief %.2f, %d sources\n", r.attr, r.value, r.belief, r.sources)
+	}
+	return nil
+}

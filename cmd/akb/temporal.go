@@ -1,0 +1,30 @@
+package main
+
+import (
+	"fmt"
+
+	"akb/internal/eval"
+	"akb/internal/experiments"
+)
+
+func cmdTemporal(args []string) error {
+	fs, seed := newFlagSet("temporal")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rows := experiments.Temporal(*seed)
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%.1f", r.ErrorRate),
+			fmt.Sprintf("%d", r.Statements),
+			fmt.Sprintf("%d", r.Timelines),
+			fmt.Sprintf("%.3f", r.RawAccuracy),
+			fmt.Sprintf("%.3f", r.FusedAccuracy),
+		})
+	}
+	fmt.Println("Temporal knowledge extraction: year-level accuracy, raw vs timeline-fused")
+	fmt.Print(eval.FormatTable(
+		[]string{"Corpus error rate", "Statements", "Timelines", "Raw accuracy", "Fused accuracy"}, out))
+	return nil
+}

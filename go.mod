@@ -1,0 +1,3 @@
+module akb
+
+go 1.22

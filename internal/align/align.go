@@ -1,0 +1,398 @@
+// Package align implements the normalisation step the paper places at the
+// start of the fusion phase: "the misspellings, synonyms, and sub-attributes
+// are identified at this stage". It detects attribute synonyms (the same
+// logical attribute surfacing under different names on different sites),
+// corrects misspelled values against their well-supported variants, and
+// identifies sub-attribute relations between attribute names. Fusion runs
+// on the normalised statements; without alignment, synonym attributes split
+// items and misspellings split votes.
+package align
+
+import (
+	"sort"
+	"strings"
+
+	"akb/internal/extract"
+	"akb/internal/rdf"
+)
+
+// Config tunes the alignment heuristics.
+type Config struct {
+	// MinValueAgreement is the fraction of shared entities on which two
+	// attribute names must carry equal values to be merged as synonyms
+	// (used for names whose token signatures differ).
+	MinValueAgreement float64
+	// MinSharedEntities is the number of entities two names must share
+	// before value agreement is meaningful.
+	MinSharedEntities int
+	// MisspellMaxDistance is the maximum edit distance for a low-support
+	// value to be folded into a high-support one.
+	MisspellMaxDistance int
+	// MisspellSupportRatio is how many times better supported the target
+	// value must be.
+	MisspellSupportRatio float64
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig() Config {
+	return Config{
+		MinValueAgreement:    0.8,
+		MinSharedEntities:    3,
+		MisspellMaxDistance:  2,
+		MisspellSupportRatio: 2,
+	}
+}
+
+// Report summarises what alignment changed.
+type Report struct {
+	// Synonyms maps merged attribute names to their canonical name.
+	Synonyms map[string]string
+	// SubAttributes maps sub-attribute names to their parent attribute.
+	SubAttributes map[string]string
+	// CorrectedValues counts misspelled value occurrences folded.
+	CorrectedValues int
+}
+
+// tokenSignature canonicalises an attribute name to an order-insensitive
+// token signature, dropping connective words: "date of release" and
+// "release date" share the signature "date release".
+func tokenSignature(attr string) string {
+	fields := strings.Fields(attr)
+	kept := fields[:0]
+	for _, f := range fields {
+		switch f {
+		case "of", "the", "a", "an":
+		default:
+			kept = append(kept, f)
+		}
+	}
+	sort.Strings(kept)
+	return strings.Join(kept, " ")
+}
+
+// DetectSynonyms finds attribute names that denote the same attribute.
+// Two signals are combined:
+//
+//  1. equal token signatures ("release date" ~ "date of release");
+//  2. different signatures but (nearly) always equal values on shared
+//     entities.
+//
+// The returned map sends every non-canonical variant to the canonical name
+// (the variant with the most supporting statements, ties to the shorter
+// then lexicographically smaller name).
+func DetectSynonyms(stmts []rdf.Statement, cfg Config) map[string]string {
+	if cfg.MinValueAgreement <= 0 {
+		cfg.MinValueAgreement = 0.8
+	}
+	if cfg.MinSharedEntities <= 0 {
+		cfg.MinSharedEntities = 3
+	}
+	// Support and per-entity values per attribute name.
+	support := map[string]int{}
+	values := map[string]map[string]string{} // attr -> entity -> first value
+	for _, s := range stmts {
+		attr := extract.AttrFromIRI(s.Predicate)
+		entity := extract.AttrFromIRI(s.Subject)
+		support[attr]++
+		ev := values[attr]
+		if ev == nil {
+			ev = map[string]string{}
+			values[attr] = ev
+		}
+		if _, ok := ev[entity]; !ok {
+			ev[entity] = s.Object.Value
+		}
+	}
+	names := make([]string, 0, len(support))
+	for a := range support {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(a string) string {
+		p, ok := parent[a]
+		if !ok || p == a {
+			parent[a] = a
+			return a
+		}
+		r := find(p)
+		parent[a] = r
+		return r
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	// Signal 1: identical token signatures.
+	bySig := map[string][]string{}
+	for _, a := range names {
+		sig := tokenSignature(a)
+		bySig[sig] = append(bySig[sig], a)
+	}
+	for _, group := range bySig {
+		for i := 1; i < len(group); i++ {
+			union(group[0], group[i])
+		}
+	}
+	// Signal 2: value agreement on shared entities.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := names[i], names[j]
+			if find(a) == find(b) {
+				continue
+			}
+			shared, agree := 0, 0
+			va, vb := values[a], values[b]
+			if len(vb) < len(va) {
+				va, vb = vb, va
+			}
+			for e, v := range va {
+				if w, ok := vb[e]; ok {
+					shared++
+					if v == w {
+						agree++
+					}
+				}
+			}
+			if shared >= cfg.MinSharedEntities &&
+				float64(agree)/float64(shared) >= cfg.MinValueAgreement {
+				union(a, b)
+			}
+		}
+	}
+
+	// Pick canonical representatives per cluster.
+	clusters := map[string][]string{}
+	for _, a := range names {
+		r := find(a)
+		clusters[r] = append(clusters[r], a)
+	}
+	out := map[string]string{}
+	for _, members := range clusters {
+		if len(members) < 2 {
+			continue
+		}
+		canon := members[0]
+		for _, m := range members[1:] {
+			if support[m] > support[canon] ||
+				(support[m] == support[canon] && (len(m) < len(canon) || (len(m) == len(canon) && m < canon))) {
+				canon = m
+			}
+		}
+		for _, m := range members {
+			if m != canon {
+				out[m] = canon
+			}
+		}
+	}
+	return out
+}
+
+// DetectSubAttributes identifies name-level sub-attribute relations: an
+// attribute whose token set strictly contains another attribute's tokens is
+// its sub-attribute ("total urban population" ⊂ "population"). Each
+// sub-attribute maps to its most general parent.
+func DetectSubAttributes(attrs []string) map[string]string {
+	tokens := make(map[string]map[string]bool, len(attrs))
+	for _, a := range attrs {
+		set := map[string]bool{}
+		for _, t := range strings.Fields(a) {
+			set[t] = true
+		}
+		tokens[a] = set
+	}
+	sorted := append([]string(nil), attrs...)
+	sort.Strings(sorted)
+	out := map[string]string{}
+	for _, sub := range sorted {
+		var best string
+		for _, parent := range sorted {
+			if parent == sub || len(tokens[parent]) >= len(tokens[sub]) {
+				continue
+			}
+			contained := true
+			for t := range tokens[parent] {
+				if !tokens[sub][t] {
+					contained = false
+					break
+				}
+			}
+			if !contained {
+				continue
+			}
+			// Most general parent: fewest tokens, then lexicographic.
+			if best == "" || len(tokens[parent]) < len(tokens[best]) ||
+				(len(tokens[parent]) == len(tokens[best]) && parent < best) {
+				best = parent
+			}
+		}
+		if best != "" {
+			out[sub] = best
+		}
+	}
+	return out
+}
+
+// CorrectMisspellings folds, within each (entity, attribute) item,
+// low-support values lying within a small edit distance of a much better
+// supported value. It returns rewritten statements and the fold count.
+func CorrectMisspellings(stmts []rdf.Statement, cfg Config) ([]rdf.Statement, int) {
+	if cfg.MisspellMaxDistance <= 0 {
+		cfg.MisspellMaxDistance = 2
+	}
+	if cfg.MisspellSupportRatio <= 0 {
+		cfg.MisspellSupportRatio = 2
+	}
+	// Count support per (item, value).
+	type itemVal struct {
+		item  string
+		value string
+	}
+	support := map[itemVal]int{}
+	itemValues := map[string]map[string]int{}
+	for _, s := range stmts {
+		ik := s.ItemKey()
+		support[itemVal{ik, s.Object.Value}]++
+		m := itemValues[ik]
+		if m == nil {
+			m = map[string]int{}
+			itemValues[ik] = m
+		}
+		m[s.Object.Value]++
+	}
+	// Build per-item correction maps.
+	corrections := map[itemVal]string{}
+	for ik, vals := range itemValues {
+		names := make([]string, 0, len(vals))
+		for v := range vals {
+			names = append(names, v)
+		}
+		sort.Strings(names)
+		for _, low := range names {
+			// Numeric values a digit apart are genuine conflicts, not
+			// typos; leave them for fusion to resolve.
+			if mostlyDigits(low) {
+				continue
+			}
+			lowN := vals[low]
+			var best string
+			bestN := 0
+			for _, high := range names {
+				highN := vals[high]
+				if high == low || float64(highN) < float64(lowN)*cfg.MisspellSupportRatio {
+					continue
+				}
+				if editDistance(low, high) > cfg.MisspellMaxDistance {
+					continue
+				}
+				if highN > bestN || (highN == bestN && high < best) {
+					best, bestN = high, highN
+				}
+			}
+			if best != "" {
+				corrections[itemVal{ik, low}] = best
+			}
+		}
+	}
+	if len(corrections) == 0 {
+		return stmts, 0
+	}
+	out := make([]rdf.Statement, len(stmts))
+	folded := 0
+	for i, s := range stmts {
+		if target, ok := corrections[itemVal{s.ItemKey(), s.Object.Value}]; ok {
+			s.Object = rdf.Literal(target)
+			folded++
+		}
+		out[i] = s
+	}
+	return out, folded
+}
+
+// Normalize applies synonym merging and misspelling correction to the
+// statements, returning the rewritten statements and a report. Sub-attribute
+// relations are detected and reported but values are left in place (a
+// sub-attribute is a distinct, more specific attribute, not a duplicate).
+func Normalize(stmts []rdf.Statement, cfg Config) ([]rdf.Statement, Report) {
+	rep := Report{}
+	rep.Synonyms = DetectSynonyms(stmts, cfg)
+	if len(rep.Synonyms) > 0 {
+		rewritten := make([]rdf.Statement, len(stmts))
+		for i, s := range stmts {
+			attr := extract.AttrFromIRI(s.Predicate)
+			if canon, ok := rep.Synonyms[attr]; ok {
+				s.Predicate = extract.AttrIRI(canon)
+			}
+			rewritten[i] = s
+		}
+		stmts = rewritten
+	}
+	var folded int
+	stmts, folded = CorrectMisspellings(stmts, cfg)
+	rep.CorrectedValues = folded
+
+	attrSet := map[string]bool{}
+	for _, s := range stmts {
+		attrSet[extract.AttrFromIRI(s.Predicate)] = true
+	}
+	attrs := make([]string, 0, len(attrSet))
+	for a := range attrSet {
+		attrs = append(attrs, a)
+	}
+	rep.SubAttributes = DetectSubAttributes(attrs)
+	return stmts, rep
+}
+
+// mostlyDigits reports whether more than half the characters are digits.
+func mostlyDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	d := 0
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			d++
+		}
+	}
+	return d*2 > len(s)
+}
+
+// editDistance is the rune-level Levenshtein distance.
+func editDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1
+			if cur[j-1]+1 < m {
+				m = cur[j-1] + 1
+			}
+			if prev[j-1]+cost < m {
+				m = prev[j-1] + cost
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}

@@ -1,0 +1,92 @@
+package confidence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"akb/internal/extract"
+)
+
+func TestScoreBounds(t *testing.T) {
+	c := Default()
+	f := func(support, sources uint8) bool {
+		v := c.Score(extract.ExtractorDOM, int(support), int(sources))
+		return v >= MinConfidence && v <= MaxConfidence
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreMonotoneInSupport(t *testing.T) {
+	c := Default()
+	prev := 0.0
+	for s := 1; s <= 50; s++ {
+		v := c.Score(extract.ExtractorText, s, 2)
+		if v < prev {
+			t.Fatalf("score decreased at support %d: %g < %g", s, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestScoreMonotoneInSources(t *testing.T) {
+	c := Default()
+	prev := 0.0
+	for s := 1; s <= 20; s++ {
+		v := c.Score(extract.ExtractorText, 10, s)
+		if v < prev {
+			t.Fatalf("score decreased at sources %d: %g < %g", s, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPriorsOrderExtractors(t *testing.T) {
+	c := Default()
+	// Same evidence, different extractors: KB > query > text > DOM.
+	kbv := c.Score(extract.ExtractorKB, 5, 3)
+	qv := c.Score(extract.ExtractorQuery, 5, 3)
+	tv := c.Score(extract.ExtractorText, 5, 3)
+	dv := c.Score(extract.ExtractorDOM, 5, 3)
+	if !(kbv > qv && qv > tv && tv > dv) {
+		t.Errorf("prior ordering broken: kb=%g q=%g text=%g dom=%g", kbv, qv, tv, dv)
+	}
+}
+
+func TestUnknownExtractorNeutralPrior(t *testing.T) {
+	c := Default()
+	if got := c.Prior("mystery"); got != 0.5 {
+		t.Errorf("unknown prior = %g, want 0.5", got)
+	}
+}
+
+func TestScoreClampsDegenerateInputs(t *testing.T) {
+	c := Default()
+	if v := c.Score(extract.ExtractorKB, 0, 0); v < MinConfidence || v > MaxConfidence {
+		t.Errorf("degenerate score = %g", v)
+	}
+	if v := c.Score(extract.ExtractorKB, -5, -5); v < MinConfidence || v > MaxConfidence {
+		t.Errorf("negative-input score = %g", v)
+	}
+}
+
+func TestScoreAttrSet(t *testing.T) {
+	c := Default()
+	s := extract.NewAttrSet()
+	s.Add("director", "siteA")
+	s.Add("director", "siteB")
+	s.Add("director", "siteB")
+	s.Add("rare attr", "siteA")
+	c.ScoreAttrSet(extract.ExtractorDOM, s)
+	d := s["director"]
+	r := s["rare attr"]
+	if d.Confidence <= r.Confidence {
+		t.Errorf("better-supported attribute should score higher: %g vs %g", d.Confidence, r.Confidence)
+	}
+	for name, ev := range s {
+		if ev.Confidence < MinConfidence || ev.Confidence > MaxConfidence {
+			t.Errorf("%s confidence %g out of bounds", name, ev.Confidence)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"akb/internal/extract"
+)
+
+func discoveryConfig() Config {
+	cfg := DefaultConfig()
+	// Low Freebase coverage leaves many world entities unknown to the
+	// entity index, so websites and texts mention entities to discover.
+	cfg.Freebase.Coverage = 0.5
+	cfg.DBpedia.Coverage = 0.4
+	cfg.DiscoverEntities = true
+	return cfg
+}
+
+func TestPipelineEntityDiscovery(t *testing.T) {
+	res := Run(discoveryConfig())
+	if res.Discovered == nil {
+		t.Fatal("discovery did not run")
+	}
+	if len(res.Discovered.Entities) == 0 {
+		t.Fatal("no entities discovered despite 50% KB coverage")
+	}
+	// Discovered entities must be genuine world entities (the generator
+	// renders pages only for real entities), and must not already be in
+	// the Freebase-covered index.
+	for _, e := range res.Discovered.Entities {
+		we, ok := res.World.Entity(e.Name)
+		if !ok {
+			t.Errorf("discovered entity %q does not exist in the world", e.Name)
+			continue
+		}
+		if we.Class != e.Class {
+			t.Errorf("discovered %q class = %q, want %q", e.Name, e.Class, we.Class)
+		}
+	}
+}
+
+func TestPipelineDiscoveryStatementsJoinFusion(t *testing.T) {
+	res := Run(discoveryConfig())
+	discovered := map[string]bool{}
+	for _, e := range res.Discovered.Entities {
+		discovered[e.Name] = true
+	}
+	// At least one fused decision must concern a discovered entity.
+	found := false
+	for _, d := range res.Fused.Decisions {
+		if discovered[extract.AttrFromIRI(d.Item.Subject)] {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no fusion decision about a discovered entity")
+	}
+	// The discover stage must be reported.
+	seen := false
+	for _, st := range res.Stages {
+		if st.Stage == "discover" {
+			seen = true
+			if st.Statements == 0 {
+				t.Error("discover stage reported zero statements")
+			}
+		}
+	}
+	if !seen {
+		t.Error("discover stage missing from report")
+	}
+}
+
+func TestPipelineDiscoveryDisabledByDefault(t *testing.T) {
+	res := Run(DefaultConfig())
+	if res.Discovered != nil {
+		t.Error("discovery ran without being enabled")
+	}
+	for _, st := range res.Stages {
+		if st.Stage == "discover" {
+			t.Error("discover stage present when disabled")
+		}
+	}
+}
+
+func TestPipelineAlignStageReported(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Sites.SynonymProb = 0.3
+	cfg.Sites.TypoProb = 0.1
+	cfg.Align = true
+	res := Run(cfg)
+	if res.AlignReport == nil {
+		t.Fatal("alignment did not run")
+	}
+	if len(res.AlignReport.Synonyms) == 0 {
+		t.Error("no synonyms merged despite 30% synonym labels")
+	}
+	if res.AlignReport.CorrectedValues == 0 {
+		t.Error("no values corrected despite 10% typos")
+	}
+	seen := false
+	for _, st := range res.Stages {
+		if st.Stage == "align" {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Error("align stage missing from report")
+	}
+}
+
+func TestPipelineListPages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ListPages = true
+	res := Run(cfg)
+	if res.Lists == nil {
+		t.Fatal("list extraction did not run")
+	}
+	if res.Lists.Regions == 0 || res.Lists.Records == 0 || len(res.Lists.Statements) == 0 {
+		t.Fatalf("empty list extraction: %+v", res.Lists)
+	}
+	seen := false
+	for _, st := range res.Stages {
+		if st.Stage == "extract/lists" {
+			seen = true
+			if st.Precision < 0.8 {
+				t.Errorf("list stage precision = %.3f", st.Precision)
+			}
+		}
+	}
+	if !seen {
+		t.Error("extract/lists stage missing")
+	}
+	// More claims should not hurt fused quality.
+	base := Run(DefaultConfig())
+	if res.FusionMetrics.F1() < base.FusionMetrics.F1()-0.02 {
+		t.Errorf("list pages degraded fusion: %.3f vs %.3f",
+			res.FusionMetrics.F1(), base.FusionMetrics.F1())
+	}
+}
+
+func TestPipelineTemporal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Temporal = true
+	res := Run(cfg)
+	if len(res.Timelines) == 0 {
+		t.Fatal("no timelines fused")
+	}
+	seen := false
+	for _, st := range res.Stages {
+		if st.Stage == "extract/temporal" {
+			seen = true
+			if st.Precision < 0.8 {
+				t.Errorf("temporal year-accuracy = %.3f, want >= 0.8", st.Precision)
+			}
+		}
+	}
+	if !seen {
+		t.Error("temporal stage missing")
+	}
+	// Timelines concern genuinely temporal attributes.
+	for _, tl := range res.Timelines {
+		e, ok := res.World.Entity(tl.Entity)
+		if !ok {
+			t.Errorf("timeline for unknown entity %q", tl.Entity)
+			continue
+		}
+		if len(e.Timelines[tl.Attr]) == 0 {
+			t.Errorf("timeline for non-temporal attribute %s/%s", tl.Entity, tl.Attr)
+		}
+	}
+}

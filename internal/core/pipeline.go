@@ -1,0 +1,384 @@
+// Package core implements the paper's Figure-1 framework end to end: the
+// knowledge-extraction phase (query stream + existing KBs seed the DOM-tree
+// and Web-text extractors; all four emit confidence-scored RDF statements)
+// followed by the knowledge-fusion phase (conflict resolution with
+// hierarchical value spaces, source/extractor correlations and confidence
+// weighting), finishing with KB augmentation — attaching the fused triples
+// to the Freebase stand-in.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"akb/internal/align"
+	"akb/internal/confidence"
+	"akb/internal/entitydisc"
+	"akb/internal/eval"
+	"akb/internal/extract"
+	"akb/internal/extract/domx"
+	"akb/internal/extract/kbx"
+	"akb/internal/extract/qsx"
+	"akb/internal/extract/textx"
+	"akb/internal/fusion"
+	"akb/internal/kb"
+	"akb/internal/querystream"
+	"akb/internal/rdf"
+	"akb/internal/temporalx"
+	"akb/internal/webgen"
+)
+
+// Config parameterises a full pipeline run. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Seed drives every stochastic component.
+	Seed int64
+	// World configures the ground-truth world.
+	World kb.WorldConfig
+	// DBpedia and Freebase configure the source KBs.
+	DBpedia  kb.KBGenConfig
+	Freebase kb.KBGenConfig
+	// Stream configures query-stream generation; TotalRecords 0 keeps the
+	// stream proportional to the world instead of the full Table-3 scale.
+	Stream querystream.GenConfig
+	// Sites and Corpus configure the synthetic Web.
+	Sites  webgen.SiteConfig
+	Corpus webgen.TextConfig
+	// QSX, DOM and Text configure the extractors.
+	QSX  qsx.Config
+	DOM  domx.Config
+	Text textx.Config
+	// Granularity selects the fusion source granularity.
+	Granularity fusion.Granularity
+	// Method is the fusion method; nil uses the paper's FULL composition.
+	Method fusion.Method
+	// Align enables the pre-fusion normalisation step (synonym merging,
+	// misspelling correction, sub-attribute identification).
+	Align bool
+	// AlignCfg tunes alignment; the zero value uses align.DefaultConfig().
+	AlignCfg align.Config
+	// DiscoverEntities enables the joint entity-linking-and-discovery
+	// extension: the DOM and text extractors harvest facts about entities
+	// the KBs do not cover, entitydisc clusters and links them, and the
+	// created entities' statements join the fusion input.
+	DiscoverEntities bool
+	// DiscoverCfg tunes entity discovery; zero uses defaults.
+	DiscoverCfg entitydisc.Config
+	// ListPages enables multi-record list-page generation and extraction
+	// (the record-mining setting of Liu et al. / Bing et al.).
+	ListPages bool
+	// ListCfg tunes list pages; zero uses webgen.DefaultListConfig().
+	ListCfg webgen.ListConfig
+	// Temporal enables temporal knowledge extraction: the corpus renders
+	// time-scoped sentences about temporal attributes and temporalx fuses
+	// the extracted spans into timelines.
+	Temporal bool
+}
+
+// DefaultConfig returns a moderate-scale configuration that runs in a few
+// seconds.
+func DefaultConfig() Config {
+	return Config{
+		Seed:     1,
+		World:    kb.WorldConfig{Seed: 1, EntitiesPerClass: 40, AttrsPerEntity: 18},
+		DBpedia:  kb.KBGenConfig{Seed: 2, Coverage: 0.6, ErrorRate: 0.02},
+		Freebase: kb.KBGenConfig{Seed: 3, Coverage: 0.8, ErrorRate: 0.02},
+		Stream: querystream.GenConfig{
+			Seed: 4, TotalRecords: 30000, Threshold: 5,
+			Plans: []querystream.ClassPlan{
+				{Class: "Book", Relevant: 800, Credible: 20, NoncrediblePool: 15},
+				{Class: "Film", Relevant: 1200, Credible: 15, NoncrediblePool: 20},
+				{Class: "Country", Relevant: 1100, Credible: 30, NoncrediblePool: 25},
+				{Class: "University", Relevant: 120, Credible: 8, NoncrediblePool: 10},
+				{Class: "Hotel", Relevant: 60, Credible: 0, NoncrediblePool: 25},
+			},
+		},
+		Sites: webgen.SiteConfig{
+			Seed: 5, SitesPerClass: 4, PagesPerSite: 14, AttrsPerPage: 10,
+			ValueErrorRate: 0.12, NoiseNodes: 5, JitterProb: 0.25, GeneralizeProb: 0.25,
+		},
+		Corpus: webgen.TextConfig{
+			Seed: 6, DocsPerClass: 12, FactsPerDoc: 12,
+			ValueErrorRate: 0.15, DistractorShare: 0.7, GeneralizeProb: 0.25,
+		},
+		QSX:         qsx.DefaultConfig(),
+		DOM:         domx.DefaultConfig(),
+		Text:        textx.DefaultConfig(),
+		Granularity: fusion.BySourceExtractor,
+	}
+}
+
+// StageStat summarises one pipeline stage for reporting.
+type StageStat struct {
+	Stage      string
+	Detail     string
+	Statements int
+	// Precision is the stage's statement precision against ground truth
+	// (-1 when not applicable).
+	Precision float64
+}
+
+// Result is the full pipeline output.
+type Result struct {
+	World *kb.World
+	// SeedSets per class: combined KB + query-stream attributes, the input
+	// to the open-Web extractors.
+	SeedSets map[string]extract.AttrSet
+	KBX      *kbx.Result
+	QSX      *qsx.Result
+	DOMX     *domx.Result
+	TextX    *textx.Result
+	// Statements is the union of all extractors' output.
+	Statements []rdf.Statement
+	// Fused is the knowledge-fusion outcome.
+	Fused *fusion.Result
+	// FusionMetrics scores Fused against ground truth.
+	FusionMetrics eval.Metrics
+	// Augmented is the final KB: accepted triples attached to the Freebase
+	// stand-in's store.
+	Augmented *rdf.Store
+	// Stages reports per-stage statistics in execution order.
+	Stages []StageStat
+	// AlignReport summarises pre-fusion normalisation when Config.Align is
+	// set; nil otherwise.
+	AlignReport *align.Report
+	// Discovered holds new-entity discovery output when
+	// Config.DiscoverEntities is set; nil otherwise.
+	Discovered *entitydisc.Result
+	// Lists holds list-page extraction output when Config.ListPages is
+	// set; nil otherwise.
+	Lists *domx.ListResult
+	// Timelines holds fused temporal knowledge when Config.Temporal is
+	// set; nil otherwise.
+	Timelines []temporalx.Timeline
+}
+
+// Run executes the full Figure-1 pipeline.
+func Run(cfg Config) *Result {
+	crit := confidence.Default()
+	res := &Result{SeedSets: make(map[string]extract.AttrSet)}
+
+	// The real world and the data sources derived from it.
+	if cfg.Temporal && cfg.Corpus.TemporalFacts == 0 {
+		cfg.Corpus.TemporalFacts = 6
+	}
+	res.World = kb.NewWorld(cfg.World)
+	dbp := kb.GenerateDBpedia(res.World, cfg.DBpedia)
+	fb := kb.GenerateFreebase(res.World, cfg.Freebase)
+	stream := querystream.Generate(res.World, cfg.Stream)
+	sites := webgen.GenerateSites(res.World, cfg.Sites)
+	corpus := webgen.GenerateCorpus(res.World, cfg.Corpus)
+	scorer := &eval.Scorer{World: res.World}
+
+	// --- Knowledge extraction phase -----------------------------------
+
+	// 1. Existing KBs.
+	res.KBX = kbx.ExtractAttributes(crit, dbp, fb)
+	kbStmts := append(kbx.ExtractStatements(crit, dbp), kbx.ExtractStatements(crit, fb)...)
+	res.addStage(scorer, "extract/kbx", fmt.Sprintf("%d classes combined", len(res.KBX.PerClass)), kbStmts)
+
+	// 2. Query stream. Entity recognition uses Freebase's covered entities,
+	// as in the paper ("each class is specified as a set of representative
+	// entities of Freebase").
+	entIdx := extract.NewEntityIndex(fb)
+	res.QSX = qsx.Extract(stream, entIdx, cfg.QSX, crit)
+	res.addStage(scorer, "extract/qsx", fmt.Sprintf("%d records scanned", stream.Len()), nil)
+
+	// 3. Seed sets: combined KB attributes ∪ credible query-stream
+	// attributes, per class.
+	for _, class := range res.World.Ontology.ClassNames() {
+		seeds := res.KBX.SeedSet(class).Clone()
+		if cr, ok := res.QSX.PerClass[class]; ok {
+			seeds.Union(cr.Credible)
+		}
+		res.SeedSets[class] = seeds
+	}
+
+	// 4. DOM trees, seeded.
+	if cfg.DiscoverEntities {
+		cfg.DOM.DiscoverEntities = true
+		cfg.Text.DiscoverEntities = true
+	}
+	res.DOMX = domx.Extract(domx.FromWebgen(sites), entIdx, res.SeedSets, cfg.DOM, crit)
+	res.addStage(scorer, "extract/domx",
+		fmt.Sprintf("%d sites, %d discovered attrs", len(sites), totalDiscoveredDOM(res.DOMX)), res.DOMX.Statements)
+
+	// 4b. Multi-record list pages (optional).
+	var listRes *domx.ListResult
+	if cfg.ListPages {
+		lcfg := cfg.ListCfg
+		if lcfg == (webgen.ListConfig{}) {
+			lcfg = webgen.DefaultListConfig()
+		}
+		lists := webgen.GenerateListPages(res.World, cfg.Sites.SitesPerClass, lcfg)
+		classOf := hostClassResolver(res.World)
+		listRes = domx.ExtractLists(domx.ListsFromWebgen(lists, classOf), entIdx, domx.ListConfig{}, crit)
+		res.Lists = listRes
+		res.addStage(scorer, "extract/lists",
+			fmt.Sprintf("%d regions, %d records", listRes.Regions, listRes.Records), listRes.Statements)
+	}
+
+	// 5. Web texts, seeded.
+	res.TextX = textx.Extract(corpus, entIdx, res.SeedSets, cfg.Text, crit)
+	res.addStage(scorer, "extract/textx",
+		fmt.Sprintf("%d docs, %d patterns", len(corpus), len(res.TextX.Patterns)), res.TextX.Statements)
+
+	// Union of all statements.
+	res.Statements = append(res.Statements, kbStmts...)
+	res.Statements = append(res.Statements, res.DOMX.Statements...)
+	if listRes != nil {
+		res.Statements = append(res.Statements, listRes.Statements...)
+	}
+	res.Statements = append(res.Statements, res.TextX.Statements...)
+
+	// Optional temporal knowledge extraction and timeline fusion.
+	if cfg.Temporal {
+		tStmts := temporalx.ExtractText(corpus, entIdx)
+		res.Timelines = temporalx.FuseTimelines(tStmts)
+		correct, total := temporalx.Accuracy(res.World, res.Timelines)
+		prec := -1.0
+		if total > 0 {
+			prec = float64(correct) / float64(total)
+		}
+		res.Stages = append(res.Stages, StageStat{
+			Stage:      "extract/temporal",
+			Detail:     fmt.Sprintf("%d statements, %d timelines", len(tStmts), len(res.Timelines)),
+			Statements: len(tStmts),
+			Precision:  prec,
+		})
+	}
+
+	// Optional joint entity linking and discovery over the unknown-entity
+	// facts the open-Web extractors harvested.
+	if cfg.DiscoverEntities {
+		facts := append(append([]extract.EntityFact(nil), res.DOMX.NewEntityFacts...), res.TextX.NewEntityFacts...)
+		res.Discovered = entitydisc.Discover(facts, entIdx, cfg.DiscoverCfg)
+		discStmts := res.Discovered.Statements(crit.Score(extract.ExtractorDOM, 2, 2))
+		res.Statements = append(res.Statements, discStmts...)
+		res.addStage(scorer, "discover",
+			fmt.Sprintf("%d new entities, %d mentions linked, %d rejected",
+				len(res.Discovered.Entities), len(res.Discovered.Linked), res.Discovered.Rejected),
+			discStmts)
+	}
+
+	// --- Knowledge fusion phase ----------------------------------------
+
+	if cfg.Align {
+		acfg := cfg.AlignCfg
+		if acfg == (align.Config{}) {
+			acfg = align.DefaultConfig()
+		}
+		var rep align.Report
+		res.Statements, rep = align.Normalize(res.Statements, acfg)
+		res.AlignReport = &rep
+		res.Stages = append(res.Stages, StageStat{
+			Stage: "align",
+			Detail: fmt.Sprintf("%d synonyms merged, %d values corrected, %d sub-attrs",
+				len(rep.Synonyms), rep.CorrectedValues, len(rep.SubAttributes)),
+			Statements: len(res.Statements),
+			Precision:  scorer.ScoreStatements(res.Statements).Precision(),
+		})
+	}
+
+	method := cfg.Method
+	if method == nil {
+		method = &fusion.Full{Forest: res.World.Hier}
+	}
+	claims := fusion.BuildClaims(res.Statements, cfg.Granularity)
+	res.Fused = method.Fuse(claims)
+	res.FusionMetrics = scorer.ScoreFusion(res.Fused)
+	res.Stages = append(res.Stages, StageStat{
+		Stage:      "fusion/" + res.Fused.Method,
+		Detail:     fmt.Sprintf("%d items, %d sources", len(claims.Items), len(claims.SourceNames)),
+		Statements: claims.NumClaims(),
+		Precision:  res.FusionMetrics.Precision(),
+	})
+
+	// --- KB augmentation ------------------------------------------------
+
+	res.Augmented = rdf.NewStore()
+	for _, d := range res.Fused.Decisions {
+		for _, v := range d.Truths {
+			res.Augmented.Add(rdf.T(d.Item.Subject, d.Item.Predicate, v))
+		}
+	}
+	res.Stages = append(res.Stages, StageStat{
+		Stage:      "augment",
+		Detail:     "accepted triples attached to Freebase",
+		Statements: res.Augmented.Len(),
+		Precision:  -1,
+	})
+	return res
+}
+
+// hostClassResolver maps generated hostnames ("film-0.example.com") back to
+// their class names.
+func hostClassResolver(w *kb.World) func(string) string {
+	byPrefix := map[string]string{}
+	for _, c := range w.Ontology.ClassNames() {
+		byPrefix[strings.ToLower(c)] = c
+	}
+	return func(host string) string {
+		prefix := host
+		if i := strings.IndexByte(host, '-'); i >= 0 {
+			prefix = host[:i]
+		}
+		return byPrefix[prefix]
+	}
+}
+
+func (r *Result) addStage(scorer *eval.Scorer, stage, detail string, stmts []rdf.Statement) {
+	prec := -1.0
+	if len(stmts) > 0 {
+		prec = scorer.ScoreStatements(stmts).Precision()
+	}
+	r.Stages = append(r.Stages, StageStat{Stage: stage, Detail: detail, Statements: len(stmts), Precision: prec})
+}
+
+func totalDiscoveredDOM(r *domx.Result) int {
+	n := 0
+	for _, cr := range r.PerClass {
+		n += cr.Discovered.Len()
+	}
+	return n
+}
+
+// AttributeGrowth reports, per class, the attribute-set sizes along the
+// pipeline: KB-combined seeds, +query stream, +DOM discovery, +text
+// discovery — the ontology-augmentation story of the paper.
+type AttributeGrowth struct {
+	Class      string
+	KBCombined int
+	WithQuery  int
+	WithDOM    int
+	WithText   int
+}
+
+// Growth summarises attribute-set growth across the pipeline stages.
+func (r *Result) Growth() []AttributeGrowth {
+	classes := r.World.Ontology.ClassNames()
+	out := make([]AttributeGrowth, 0, len(classes))
+	for _, class := range classes {
+		g := AttributeGrowth{Class: class}
+		g.KBCombined = r.KBX.SeedSet(class).Len()
+		g.WithQuery = r.SeedSets[class].Len()
+		if cr, ok := r.DOMX.PerClass[class]; ok {
+			g.WithDOM = cr.All.Len()
+		} else {
+			g.WithDOM = g.WithQuery
+		}
+		extra := 0
+		if cr, ok := r.TextX.PerClass[class]; ok {
+			for attr := range cr.Discovered {
+				if dcr, ok2 := r.DOMX.PerClass[class]; !ok2 || !dcr.All.Has(attr) {
+					extra++
+				}
+			}
+		}
+		g.WithText = g.WithDOM + extra
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}

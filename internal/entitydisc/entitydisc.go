@@ -1,0 +1,338 @@
+// Package entitydisc implements new entity creation — the paper's §3.1
+// commitment to "create new entities automatically by improving the
+// existing techniques [Wick et al.], solving entity-linking and
+// entity-discovery jointly". It consumes candidate entity facts from the
+// DOM-tree and Web-text extractors' discovery modes and:
+//
+//  1. links: a candidate whose name is (a near-duplicate of) a known
+//     entity is resolved to that entity instead of becoming a new one;
+//  2. merges: synonym mentions of the same unknown entity (exact or
+//     near-duplicate names) are clustered, fixing the redundancy problem
+//     the paper attributes to lexical-level Open IE;
+//  3. creates: clusters with enough independent support become new
+//     entities carrying their aggregated attribute values.
+package entitydisc
+
+import (
+	"sort"
+	"strings"
+
+	"akb/internal/extract"
+	"akb/internal/rdf"
+)
+
+// Config tunes discovery.
+type Config struct {
+	// MinSupport is the number of facts a candidate needs to become an
+	// entity (default 2).
+	MinSupport int
+	// MinSources is the number of distinct sources required (default 1).
+	MinSources int
+	// LinkDistance is the maximum edit distance for linking a mention to a
+	// known entity (default 1).
+	LinkDistance int
+	// MergeDistance is the maximum edit distance for merging two unknown
+	// mentions (default 2).
+	MergeDistance int
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig() Config {
+	return Config{MinSupport: 2, MinSources: 1, LinkDistance: 1, MergeDistance: 2}
+}
+
+// Entity is one discovered entity with aggregated evidence.
+type Entity struct {
+	// Name is the canonical mention (the most frequent surface form).
+	Name string
+	// Class is the majority class of the contributing facts.
+	Class string
+	// Support counts contributing facts.
+	Support int
+	// Sources is the distinct contributing sources.
+	Sources []string
+	// Aliases are merged non-canonical surface forms.
+	Aliases []string
+	// Values aggregates attribute -> distinct values.
+	Values map[string][]string
+}
+
+// Result is the discovery outcome.
+type Result struct {
+	// Entities are the created entities, sorted by descending support then
+	// name.
+	Entities []*Entity
+	// Linked maps candidate names that resolved to known entities.
+	Linked map[string]string
+	// Rejected counts candidates dropped for insufficient support.
+	Rejected int
+}
+
+// Statements converts the discovered entities' aggregated values into
+// confidence-annotated statements so they can join the fusion phase.
+func (r *Result) Statements(conf float64) []rdf.Statement {
+	var out []rdf.Statement
+	for _, e := range r.Entities {
+		attrs := make([]string, 0, len(e.Values))
+		for a := range e.Values {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, a := range attrs {
+			for _, v := range e.Values[a] {
+				for _, src := range e.Sources {
+					out = append(out, extract.NewStatement(e.Name, a, v, src, "entitydisc", "", conf))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Discover clusters candidate facts into linked, merged and new entities.
+func Discover(facts []extract.EntityFact, idx *extract.EntityIndex, cfg Config) *Result {
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = 2
+	}
+	if cfg.MinSources <= 0 {
+		cfg.MinSources = 1
+	}
+	if cfg.LinkDistance < 0 {
+		cfg.LinkDistance = 1
+	}
+	if cfg.MergeDistance <= 0 {
+		cfg.MergeDistance = 2
+	}
+	res := &Result{Linked: map[string]string{}}
+
+	// Phase 1: entity linking — resolve near-duplicates of known names.
+	known := idx.Names()
+	var unknownFacts []extract.EntityFact
+	for _, f := range facts {
+		name := strings.TrimSpace(f.Name)
+		if name == "" {
+			continue
+		}
+		if _, ok := idx.Class(name); ok {
+			res.Linked[name] = name
+			continue
+		}
+		if target := linkToKnown(name, known, cfg.LinkDistance); target != "" {
+			res.Linked[name] = target
+			continue
+		}
+		f.Name = name
+		unknownFacts = append(unknownFacts, f)
+	}
+
+	// Phase 2: merge synonym mentions of unknown entities.
+	nameCount := map[string]int{}
+	for _, f := range unknownFacts {
+		nameCount[f.Name]++
+	}
+	names := make([]string, 0, len(nameCount))
+	for n := range nameCount {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Union-find gives the transitive closure: "Zanzibar Night",
+	// "Zanzibar Nights" and "Zanzibar Nights 2" all join one cluster even
+	// though the outer pair is not itself a near-duplicate.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(n string) string {
+		p, ok := parent[n]
+		if !ok || p == n {
+			parent[n] = n
+			return n
+		}
+		r := find(p)
+		parent[n] = r
+		return r
+	}
+	for i, a := range names {
+		for j := i + 1; j < len(names); j++ {
+			b := names[j]
+			if nearDuplicate(a, b, cfg.MergeDistance) {
+				ra, rb := find(a), find(b)
+				if ra != rb {
+					parent[rb] = ra
+				}
+			}
+		}
+	}
+	canon := map[string]string{}
+	for _, n := range names {
+		canon[n] = find(n)
+	}
+	// Canonical = most frequent member of each cluster.
+	clusterMembers := map[string][]string{}
+	for n, c := range canon {
+		clusterMembers[c] = append(clusterMembers[c], n)
+	}
+	best := map[string]string{}
+	for c, members := range clusterMembers {
+		sort.Strings(members)
+		top := members[0]
+		for _, m := range members[1:] {
+			if nameCount[m] > nameCount[top] {
+				top = m
+			}
+		}
+		best[c] = top
+	}
+
+	// Phase 3: aggregate and create.
+	type agg struct {
+		class   map[string]int
+		sources map[string]struct{}
+		values  map[string]map[string]struct{}
+		aliases map[string]struct{}
+		support int
+	}
+	byEntity := map[string]*agg{}
+	for _, f := range unknownFacts {
+		key := best[canon[f.Name]]
+		a := byEntity[key]
+		if a == nil {
+			a = &agg{
+				class:   map[string]int{},
+				sources: map[string]struct{}{},
+				values:  map[string]map[string]struct{}{},
+				aliases: map[string]struct{}{},
+			}
+			byEntity[key] = a
+		}
+		a.support++
+		a.class[f.Class]++
+		a.sources[f.Source] = struct{}{}
+		if f.Name != key {
+			a.aliases[f.Name] = struct{}{}
+		}
+		if f.Attr != "" && f.Value != "" {
+			vs := a.values[f.Attr]
+			if vs == nil {
+				vs = map[string]struct{}{}
+				a.values[f.Attr] = vs
+			}
+			vs[f.Value] = struct{}{}
+		}
+	}
+	keys := make([]string, 0, len(byEntity))
+	for k := range byEntity {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, name := range keys {
+		a := byEntity[name]
+		if a.support < cfg.MinSupport || len(a.sources) < cfg.MinSources {
+			res.Rejected++
+			continue
+		}
+		e := &Entity{Name: name, Support: a.support, Values: map[string][]string{}}
+		for cls, n := range a.class {
+			if e.Class == "" || n > a.class[e.Class] || (n == a.class[e.Class] && cls < e.Class) {
+				e.Class = cls
+			}
+		}
+		for s := range a.sources {
+			e.Sources = append(e.Sources, s)
+		}
+		sort.Strings(e.Sources)
+		for al := range a.aliases {
+			e.Aliases = append(e.Aliases, al)
+		}
+		sort.Strings(e.Aliases)
+		for attr, vs := range a.values {
+			for v := range vs {
+				e.Values[attr] = append(e.Values[attr], v)
+			}
+			sort.Strings(e.Values[attr])
+		}
+		res.Entities = append(res.Entities, e)
+	}
+	sort.Slice(res.Entities, func(i, j int) bool {
+		if res.Entities[i].Support != res.Entities[j].Support {
+			return res.Entities[i].Support > res.Entities[j].Support
+		}
+		return res.Entities[i].Name < res.Entities[j].Name
+	})
+	return res
+}
+
+// linkToKnown returns the known entity within the edit-distance budget, or
+// "". A mention that is a word-boundary prefix or suffix of a known name (a
+// partial mention like "Enel 24" for "University of Enel 24") also links.
+func linkToKnown(name string, known []string, maxDist int) string {
+	for _, k := range known {
+		if withinDistance(name, k, maxDist) {
+			return k
+		}
+		if len(name) >= 4 && (strings.HasSuffix(k, " "+name) || strings.HasPrefix(k, name+" ")) {
+			return k
+		}
+	}
+	return ""
+}
+
+// nearDuplicate reports whether two unknown mentions are surface variants:
+// small edit distance, or one extends the other by a single token.
+func nearDuplicate(a, b string, maxDist int) bool {
+	if withinDistance(a, b, maxDist) {
+		return true
+	}
+	fa, fb := strings.Fields(a), strings.Fields(b)
+	if len(fa) == len(fb)+1 && strings.HasPrefix(a, b+" ") {
+		return true
+	}
+	if len(fb) == len(fa)+1 && strings.HasPrefix(b, a+" ") {
+		return true
+	}
+	return false
+}
+
+// withinDistance is an early-exit bounded Levenshtein check.
+func withinDistance(a, b string, max int) bool {
+	if abs(len(a)-len(b)) > max {
+		return false
+	}
+	ra, rb := []rune(a), []rune(b)
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1
+			if cur[j-1]+1 < m {
+				m = cur[j-1] + 1
+			}
+			if prev[j-1]+cost < m {
+				m = prev[j-1] + cost
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > max {
+			return false
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)] <= max
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

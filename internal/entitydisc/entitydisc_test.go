@@ -1,0 +1,159 @@
+package entitydisc
+
+import (
+	"testing"
+
+	"akb/internal/extract"
+	"akb/internal/kb"
+)
+
+func fact(name, class, attr, value, source string) extract.EntityFact {
+	return extract.EntityFact{Name: name, Class: class, Attr: attr, Value: value, Source: source, Doc: "d"}
+}
+
+func worldIndex(t *testing.T) (*kb.World, *extract.EntityIndex) {
+	t.Helper()
+	w := kb.NewWorld(kb.WorldConfig{Seed: 9, EntitiesPerClass: 10, AttrsPerEntity: 8})
+	return w, extract.NewEntityIndexFromWorld(w)
+}
+
+func TestDiscoverCreatesEntities(t *testing.T) {
+	_, idx := worldIndex(t)
+	facts := []extract.EntityFact{
+		fact("Zanzibar Nights", "Film", "director", "Leo Fontaine", "site-a"),
+		fact("Zanzibar Nights", "Film", "composer", "Ida Moreau", "site-b"),
+		fact("Zanzibar Nights", "Film", "director", "Leo Fontaine", "site-b"),
+		fact("Lonely Mention", "Film", "director", "X", "site-a"), // support 1
+	}
+	res := Discover(facts, idx, DefaultConfig())
+	if len(res.Entities) != 1 {
+		t.Fatalf("entities = %d, want 1 (%+v)", len(res.Entities), res.Entities)
+	}
+	e := res.Entities[0]
+	if e.Name != "Zanzibar Nights" || e.Class != "Film" || e.Support != 3 {
+		t.Errorf("entity = %+v", e)
+	}
+	if len(e.Sources) != 2 {
+		t.Errorf("sources = %v", e.Sources)
+	}
+	if len(e.Values["director"]) != 1 || e.Values["director"][0] != "Leo Fontaine" {
+		t.Errorf("values = %v", e.Values)
+	}
+	if res.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", res.Rejected)
+	}
+}
+
+func TestDiscoverLinksNearDuplicatesOfKnown(t *testing.T) {
+	w, idx := worldIndex(t)
+	known := w.EntityNames("Film")[0]
+	// A one-character typo of a known entity must LINK, not create.
+	typo := known[:len(known)-1] + "x"
+	facts := []extract.EntityFact{
+		fact(typo, "Film", "director", "A", "s1"),
+		fact(typo, "Film", "director", "A", "s2"),
+	}
+	res := Discover(facts, idx, DefaultConfig())
+	if len(res.Entities) != 0 {
+		t.Fatalf("typo of known entity created new entity: %+v", res.Entities)
+	}
+	if res.Linked[typo] != known {
+		t.Errorf("linked = %v, want %q -> %q", res.Linked, typo, known)
+	}
+}
+
+func TestDiscoverMergesSynonymMentions(t *testing.T) {
+	_, idx := worldIndex(t)
+	facts := []extract.EntityFact{
+		fact("Zanzibar Nights", "Film", "director", "Leo", "s1"),
+		fact("Zanzibar Nights", "Film", "genre", "Drama", "s1"),
+		fact("Zanzibar Night", "Film", "director", "Leo", "s2"),    // typo variant
+		fact("Zanzibar Nights 2", "Film", "director", "Leo", "s3"), // qualifier variant
+	}
+	res := Discover(facts, idx, DefaultConfig())
+	if len(res.Entities) != 1 {
+		t.Fatalf("entities = %d, want 1 merged cluster: %+v", len(res.Entities), res.Entities)
+	}
+	e := res.Entities[0]
+	if e.Name != "Zanzibar Nights" {
+		t.Errorf("canonical = %q", e.Name)
+	}
+	if len(e.Aliases) != 2 {
+		t.Errorf("aliases = %v", e.Aliases)
+	}
+	if e.Support != 4 {
+		t.Errorf("support = %d", e.Support)
+	}
+}
+
+func TestDiscoverMinSources(t *testing.T) {
+	_, idx := worldIndex(t)
+	facts := []extract.EntityFact{
+		fact("Solo Source Show", "Film", "director", "A", "only-site"),
+		fact("Solo Source Show", "Film", "genre", "B", "only-site"),
+	}
+	cfg := DefaultConfig()
+	cfg.MinSources = 2
+	res := Discover(facts, idx, cfg)
+	if len(res.Entities) != 0 || res.Rejected != 1 {
+		t.Errorf("single-source candidate survived MinSources=2: %+v", res)
+	}
+}
+
+func TestResultStatements(t *testing.T) {
+	_, idx := worldIndex(t)
+	facts := []extract.EntityFact{
+		fact("Zanzibar Nights", "Film", "director", "Leo", "s1"),
+		fact("Zanzibar Nights", "Film", "director", "Leo", "s2"),
+	}
+	res := Discover(facts, idx, DefaultConfig())
+	stmts := res.Statements(0.6)
+	if len(stmts) != 2 { // one value x two sources
+		t.Fatalf("statements = %d, want 2", len(stmts))
+	}
+	for _, s := range stmts {
+		if err := s.Valid(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Confidence != 0.6 || s.Provenance.Extractor != "entitydisc" {
+			t.Errorf("statement = %+v", s)
+		}
+	}
+}
+
+func TestWithinDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		max  int
+		want bool
+	}{
+		{"abc", "abc", 0, true},
+		{"abc", "abd", 1, true},
+		{"abc", "abd", 0, false},
+		{"short", "muchlongerstring", 2, false},
+		{"kitten", "sitting", 3, true},
+		{"kitten", "sitting", 2, false},
+	}
+	for _, c := range cases {
+		if got := withinDistance(c.a, c.b, c.max); got != c.want {
+			t.Errorf("withinDistance(%q, %q, %d) = %v, want %v", c.a, c.b, c.max, got, c.want)
+		}
+	}
+}
+
+func TestNearDuplicate(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"Zanzibar Nights", "Zanzibar Night", true},
+		{"Zanzibar Nights", "Zanzibar Nights 2", true},
+		{"Zanzibar Nights", "Completely Different", false},
+		{"A B", "A B C D", false}, // two extra tokens: not a variant
+	}
+	for _, c := range cases {
+		if got := nearDuplicate(c.a, c.b, 2); got != c.want {
+			t.Errorf("nearDuplicate(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

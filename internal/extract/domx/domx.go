@@ -1,0 +1,523 @@
+// Package domx implements Algorithm 1 of the paper: attribute extraction
+// from DOM trees. For each website, pages that contain a recognised entity
+// node and at least one attribute label from the seed set induce tag-path
+// patterns (the paths between the entity node and the seed label nodes,
+// normalised of noisy tags). Other text nodes whose entity-relative tag path
+// is similar to an induced pattern are recognised as new attribute labels
+// and added to the seed set, which grows monotonically as sites are
+// traversed. The extractor additionally pairs every recognised label with
+// its adjacent value node to emit (entity, attribute, value) statements for
+// the fusion phase.
+//
+// Because tag paths learned on one site do not transfer to pages with other
+// styles and formats (the paper's motivating observation), patterns are
+// induced per page and never reused across sites.
+package domx
+
+import (
+	"sort"
+	"strings"
+
+	"akb/internal/confidence"
+	"akb/internal/extract"
+	"akb/internal/htmldom"
+	"akb/internal/rdf"
+	"akb/internal/webgen"
+)
+
+// Page is one parsed web page.
+type Page struct {
+	URL string
+	Doc *htmldom.Node
+}
+
+// Site groups the parsed pages of one website.
+type Site struct {
+	Host  string
+	Class string
+	Pages []Page
+}
+
+// FromWebgen parses generated websites into extraction input.
+func FromWebgen(sites []*webgen.Site) []Site {
+	out := make([]Site, 0, len(sites))
+	for _, s := range sites {
+		site := Site{Host: s.Host, Class: s.Class}
+		for _, p := range s.Pages {
+			site.Pages = append(site.Pages, Page{URL: p.URL, Doc: htmldom.Parse(p.HTML)})
+		}
+		out = append(out, site)
+	}
+	return out
+}
+
+// Config controls Algorithm 1.
+type Config struct {
+	// SimilarityThreshold is the minimum tag-path similarity to an induced
+	// pattern for a text node to be recognised as an attribute label.
+	SimilarityThreshold float64
+	// SeedCap stops traversing a site once the class's attribute set
+	// reaches this size ("the algorithm turns to another Website when the
+	// number of attributes reaches a certain threshold"). Zero disables it.
+	SeedCap int
+	// MaxPasses bounds the per-site fixpoint iteration.
+	MaxPasses int
+	// Step renders tag-path steps; defaults to htmldom.QualifiedStep.
+	Step htmldom.StepFunc
+	// DiscoverEntities harvests candidate new entities from pages whose
+	// entity node matches no known entity: the page's first body text node
+	// is proposed as a new entity of the site's class, and attribute/value
+	// pairs are extracted against the patterns induced on the site's
+	// recognised pages (an extension of Algorithm 1 towards the paper's
+	// joint entity-linking-and-discovery goal).
+	DiscoverEntities bool
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig() Config {
+	return Config{SimilarityThreshold: 0.9, MaxPasses: 3}
+}
+
+// ClassResult is the per-class outcome.
+type ClassResult struct {
+	Class string
+	// All is the enriched attribute set (seeds plus discoveries).
+	All extract.AttrSet
+	// Discovered holds only the attributes not present in the seeds.
+	Discovered extract.AttrSet
+	// PagesUsed counts pages that induced at least one pattern.
+	PagesUsed int
+	// InducedPatterns counts distinct normalised patterns across pages.
+	InducedPatterns int
+
+	patternSet map[string]struct{}
+	// entityPaths records the qualified path-to-root signatures of entity
+	// nodes on recognised pages, used to locate candidate entity nodes on
+	// unrecognised pages during discovery.
+	entityPaths map[string]struct{}
+}
+
+// EntityFact is one extracted fact about a candidate new entity.
+type EntityFact = extract.EntityFact
+
+// Result is the extraction outcome.
+type Result struct {
+	PerClass map[string]*ClassResult
+	// Statements are the (entity, attribute, value) claims with
+	// per-site provenance.
+	Statements []rdf.Statement
+	// NewEntityFacts holds facts about unrecognised page entities when
+	// Config.DiscoverEntities is set.
+	NewEntityFacts []EntityFact
+}
+
+// Classes returns class names in sorted order.
+func (r *Result) Classes() []string {
+	out := make([]string, 0, len(r.PerClass))
+	for c := range r.PerClass {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// claim is an aggregated (entity, attr, value) observation.
+type claim struct {
+	entity, attr, value string
+}
+
+type claimEvidence struct {
+	hosts map[string]struct{}
+	pages int
+	// firstProv is the first (host, url) that asserted the claim per host.
+	provs []rdf.Provenance
+}
+
+// Extract runs Algorithm 1 over the sites. Seeds map class name to the seed
+// attribute set extracted from the query stream and existing KBs; the passed
+// sets are cloned, never mutated.
+func Extract(sites []Site, idx *extract.EntityIndex, seeds map[string]extract.AttrSet, cfg Config, crit *confidence.Criterion) *Result {
+	if cfg.SimilarityThreshold <= 0 {
+		cfg.SimilarityThreshold = 0.9
+	}
+	if cfg.MaxPasses <= 0 {
+		cfg.MaxPasses = 3
+	}
+	if cfg.Step == nil {
+		cfg.Step = htmldom.QualifiedStep
+	}
+	res := &Result{PerClass: make(map[string]*ClassResult)}
+	claims := make(map[claim]*claimEvidence)
+	seen := make(map[string]struct{}) // attr|host|url dedup for support counts
+
+	for _, site := range sites {
+		cr := res.PerClass[site.Class]
+		if cr == nil {
+			seedSet := extract.NewAttrSet()
+			if s, ok := seeds[site.Class]; ok {
+				seedSet = s.Clone()
+			}
+			cr = &ClassResult{
+				Class:       site.Class,
+				All:         seedSet,
+				Discovered:  extract.NewAttrSet(),
+				patternSet:  make(map[string]struct{}),
+				entityPaths: make(map[string]struct{}),
+			}
+			res.PerClass[site.Class] = cr
+		}
+		if cfg.SeedCap > 0 && cr.All.Len() >= cfg.SeedCap {
+			continue
+		}
+		extractSite(site, idx, cr, cfg, claims, seen, res)
+	}
+	for _, cr := range res.PerClass {
+		cr.InducedPatterns = len(cr.patternSet)
+		if crit != nil {
+			crit.ScoreAttrSet(extract.ExtractorDOM, cr.Discovered)
+			crit.ScoreAttrSet(extract.ExtractorDOM, cr.All)
+		}
+	}
+	res.Statements = buildStatements(claims, crit)
+	return res
+}
+
+func extractSite(site Site, idx *extract.EntityIndex, cr *ClassResult, cfg Config, claims map[claim]*claimEvidence, seen map[string]struct{}, res *Result) {
+	type pageState struct {
+		page    Page
+		entity  string
+		eNode   *htmldom.Node
+		texts   []*htmldom.Node
+		counted bool
+	}
+	states := make([]*pageState, 0, len(site.Pages))
+	var unknown []Page
+	for _, p := range site.Pages {
+		entity, eNode := findEntityNode(p.Doc, idx, site.Class)
+		if eNode == nil {
+			unknown = append(unknown, p)
+			continue
+		}
+		states = append(states, &pageState{page: p, entity: entity, eNode: eNode, texts: bodyTextNodes(p.Doc)})
+	}
+
+	for pass := 0; pass < cfg.MaxPasses; pass++ {
+		grew := false
+		for _, st := range states {
+			if cfg.SeedCap > 0 && cr.All.Len() >= cfg.SeedCap {
+				return
+			}
+			if extractPage(site, st.page, st.entity, st.eNode, st.texts, cr, cfg, claims, seen, &st.counted) {
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	if cfg.DiscoverEntities {
+		discoverOnSite(site, unknown, cr, cfg, res)
+	}
+}
+
+// discoverOnSite proposes new entities from pages whose entity node matched
+// nothing known, extracting their attributes against the site's induced
+// pattern set. Site templates keep label paths regular across pages, which
+// is what makes cross-page pattern application sound here even though
+// Algorithm 1 proper induces patterns per page.
+func discoverOnSite(site Site, unknown []Page, cr *ClassResult, cfg Config, res *Result) {
+	if len(cr.patternSet) == 0 {
+		return
+	}
+	sitePatterns := make([]htmldom.TagPath, 0, len(cr.patternSet))
+	for _, st := range sortedPatternKeys(cr.patternSet) {
+		sitePatterns = append(sitePatterns, parsePatternKey(st))
+	}
+	for _, p := range unknown {
+		texts := bodyTextNodes(p.Doc)
+		// The candidate entity node is the first text node standing at a
+		// position where recognised pages carried their entity node — nav
+		// links and ads live elsewhere in the template.
+		var candNode *htmldom.Node
+		for _, tn := range texts {
+			if _, ok := cr.entityPaths[pathSignature(tn, cfg.Step)]; ok {
+				candNode = tn
+				break
+			}
+		}
+		if candNode == nil {
+			continue
+		}
+		name := htmldom.NormalizeSpace(candNode.Text)
+		if !plausibleEntityName(name) {
+			continue
+		}
+		for i, tn := range texts {
+			if tn == candNode {
+				continue
+			}
+			label := extract.NormalizeLabel(htmldom.NormalizeSpace(tn.Text))
+			if label == "" || !extract.ValidAttributeLabel(label) {
+				continue
+			}
+			path, ok := htmldom.PathBetweenFunc(candNode, tn, cfg.Step)
+			if !ok || bestSimilarity(path, sitePatterns) < cfg.SimilarityThreshold {
+				continue
+			}
+			value := valueAfter(texts, i)
+			if value == "" {
+				continue
+			}
+			res.NewEntityFacts = append(res.NewEntityFacts, EntityFact{
+				Name: name, Class: site.Class, Attr: label, Value: value,
+				Source: site.Host, Doc: p.URL,
+			})
+		}
+	}
+}
+
+// pathSignature renders a text node's qualified element path to the root,
+// most specific first, as a comparable string.
+func pathSignature(n *htmldom.Node, step htmldom.StepFunc) string {
+	var b strings.Builder
+	for cur := n.Parent; cur != nil; cur = cur.Parent {
+		if cur.Kind == htmldom.ElementNode {
+			b.WriteString(step(cur))
+			b.WriteByte('/')
+		}
+	}
+	return b.String()
+}
+
+// sortedPatternKeys returns pattern strings deterministically.
+func sortedPatternKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// parsePatternKey reconstructs a TagPath from its canonical string
+// "a^b^apex(c/d)".
+func parsePatternKey(s string) htmldom.TagPath {
+	var p htmldom.TagPath
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		down := strings.TrimSuffix(s[i+1:], ")")
+		if down != "" {
+			p.Down = strings.Split(down, "/")
+		}
+		s = s[:i]
+	}
+	parts := strings.Split(s, "^")
+	p.Apex = parts[len(parts)-1]
+	p.Up = parts[:len(parts)-1]
+	return p
+}
+
+// plausibleEntityName accepts capitalised multi-word names of sane length.
+func plausibleEntityName(name string) bool {
+	words := strings.Fields(name)
+	if len(words) == 0 || len(words) > 8 || len(name) < 3 {
+		return false
+	}
+	c := name[0]
+	return c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// extractPage runs one Algorithm-1 step on a page and reports whether the
+// class attribute set grew.
+func extractPage(site Site, page Page, entity string, eNode *htmldom.Node, texts []*htmldom.Node, cr *ClassResult, cfg Config, claims map[claim]*claimEvidence, seen map[string]struct{}, counted *bool) bool {
+	// Step 1: induced tag path pattern set — paths from the entity node to
+	// every node whose label is already a known attribute.
+	var induced []htmldom.TagPath
+	type labelNode struct {
+		node  *htmldom.Node
+		label string
+		pos   int
+	}
+	var knownLabels, candidates []labelNode
+	for i, tn := range texts {
+		if tn == eNode {
+			continue
+		}
+		label := extract.NormalizeLabel(htmldom.NormalizeSpace(tn.Text))
+		if label == "" || label == strings.ToLower(entity) {
+			continue
+		}
+		if cr.All.Has(label) {
+			knownLabels = append(knownLabels, labelNode{node: tn, label: label, pos: i})
+		} else {
+			candidates = append(candidates, labelNode{node: tn, label: label, pos: i})
+		}
+	}
+	if len(knownLabels) == 0 {
+		return false
+	}
+	for _, ln := range knownLabels {
+		if p, ok := htmldom.PathBetweenFunc(eNode, ln.node, cfg.Step); ok {
+			norm := p.Normalize()
+			induced = append(induced, norm)
+			cr.patternSet[norm.String()] = struct{}{}
+		}
+	}
+	if len(induced) == 0 {
+		return false
+	}
+	if !*counted {
+		cr.PagesUsed++
+		*counted = true
+	}
+	cr.entityPaths[pathSignature(eNode, cfg.Step)] = struct{}{}
+
+	grew := false
+	// Step 2: recognise known labels' values and new attribute labels.
+	emit := func(ln labelNode) {
+		value := valueAfter(texts, ln.pos)
+		if value == "" {
+			return
+		}
+		c := claim{entity: entity, attr: ln.label, value: value}
+		ev := claims[c]
+		if ev == nil {
+			ev = &claimEvidence{hosts: make(map[string]struct{})}
+			claims[c] = ev
+		}
+		if _, ok := ev.hosts[site.Host]; !ok {
+			ev.hosts[site.Host] = struct{}{}
+			ev.provs = append(ev.provs, rdf.Provenance{
+				Source: site.Host, Extractor: extract.ExtractorDOM, Document: page.URL,
+			})
+		}
+		ev.pages++
+	}
+	for _, ln := range knownLabels {
+		// A previously discovered attribute reappearing on another page or
+		// host is further evidence; keep its support growing.
+		if cr.Discovered.Has(ln.label) {
+			key := ln.label + "|" + site.Host + "|" + page.URL
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				cr.Discovered.Add(ln.label, site.Host)
+				cr.All.Add(ln.label, site.Host)
+			}
+		}
+		emit(ln)
+	}
+	for _, ln := range candidates {
+		if !extract.ValidAttributeLabel(ln.label) {
+			continue
+		}
+		p, ok := htmldom.PathBetweenFunc(eNode, ln.node, cfg.Step)
+		if !ok {
+			continue
+		}
+		if bestSimilarity(p, induced) < cfg.SimilarityThreshold {
+			continue
+		}
+		key := ln.label + "|" + site.Host + "|" + page.URL
+		if _, dup := seen[key]; !dup {
+			seen[key] = struct{}{}
+			if !cr.All.Has(ln.label) {
+				grew = true
+			}
+			cr.All.Add(ln.label, site.Host)
+			cr.Discovered.Add(ln.label, site.Host)
+		}
+		emit(ln)
+	}
+	return grew
+}
+
+func bestSimilarity(p htmldom.TagPath, induced []htmldom.TagPath) float64 {
+	best := 0.0
+	for _, q := range induced {
+		if s := htmldom.Similarity(p, q); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// findEntityNode locates the first body text node whose content is a known
+// entity of the wanted class.
+func findEntityNode(doc *htmldom.Node, idx *extract.EntityIndex, class string) (string, *htmldom.Node) {
+	for _, tn := range bodyTextNodes(doc) {
+		name := htmldom.NormalizeSpace(tn.Text)
+		if c, ok := idx.Class(name); ok && c == class {
+			return name, tn
+		}
+	}
+	return "", nil
+}
+
+// bodyTextNodes returns document-order text nodes outside <head>.
+func bodyTextNodes(doc *htmldom.Node) []*htmldom.Node {
+	var out []*htmldom.Node
+	for _, tn := range doc.TextNodes() {
+		if !underHead(tn) {
+			out = append(out, tn)
+		}
+	}
+	return out
+}
+
+func underHead(n *htmldom.Node) bool {
+	for cur := n.Parent; cur != nil; cur = cur.Parent {
+		if cur.Kind == htmldom.ElementNode && cur.Tag == "head" {
+			return true
+		}
+	}
+	return false
+}
+
+// valueAfter returns the normalised text of the first node after pos that
+// does not itself look like a label (labels end with a colon on styled
+// sites).
+func valueAfter(texts []*htmldom.Node, pos int) string {
+	for i := pos + 1; i < len(texts); i++ {
+		raw := htmldom.NormalizeSpace(texts[i].Text)
+		if raw == "" {
+			continue
+		}
+		if strings.HasSuffix(raw, ":") {
+			return "" // adjacent label: the expected value is missing
+		}
+		return raw
+	}
+	return ""
+}
+
+// buildStatements converts aggregated claims into confidence-scored
+// statements, one per contributing site.
+func buildStatements(claims map[claim]*claimEvidence, crit *confidence.Criterion) []rdf.Statement {
+	keys := make([]claim, 0, len(claims))
+	for c := range claims {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.entity != b.entity {
+			return a.entity < b.entity
+		}
+		if a.attr != b.attr {
+			return a.attr < b.attr
+		}
+		return a.value < b.value
+	})
+	var out []rdf.Statement
+	for _, c := range keys {
+		ev := claims[c]
+		conf := 0.5
+		if crit != nil {
+			conf = crit.Score(extract.ExtractorDOM, ev.pages, len(ev.hosts))
+		}
+		for _, prov := range ev.provs {
+			out = append(out, rdf.S(
+				rdf.T(extract.EntityIRI(c.entity), extract.AttrIRI(c.attr), rdf.Literal(c.value)),
+				prov, conf))
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package domx
+
+import (
+	"sort"
+
+	"akb/internal/confidence"
+	"akb/internal/extract"
+	"akb/internal/htmldom"
+	"akb/internal/rdf"
+	"akb/internal/webgen"
+)
+
+// This file implements data-record extraction from list pages — the
+// multi-record setting of the wrapper-induction literature the paper
+// surveys (Liu et al. KDD'03, Bing et al. CIKM'11): a table whose rows each
+// describe one entity, with a header row naming the attribute columns. The
+// extractor detects record regions by repetition (several sibling rows with
+// the same cell signature, each containing a recognised entity), pairs
+// cells to header labels, and emits one statement per cell.
+
+// ListPage is one parsed multi-record page.
+type ListPage struct {
+	URL string
+	Doc *htmldom.Node
+}
+
+// ListSite groups list pages per host.
+type ListSite struct {
+	Host  string
+	Class string
+	Pages []ListPage
+}
+
+// ListsFromWebgen adapts generated list pages for extraction.
+func ListsFromWebgen(w map[string][]*webgen.ListPage, classOf func(host string) string) []ListSite {
+	hosts := make([]string, 0, len(w))
+	for h := range w {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	out := make([]ListSite, 0, len(hosts))
+	for _, h := range hosts {
+		site := ListSite{Host: h, Class: classOf(h)}
+		for _, p := range w[h] {
+			site.Pages = append(site.Pages, ListPage{URL: p.URL, Doc: htmldom.Parse(p.HTML)})
+		}
+		out = append(out, site)
+	}
+	return out
+}
+
+// ListResult is the list-extraction outcome.
+type ListResult struct {
+	// Statements are the extracted claims.
+	Statements []rdf.Statement
+	// Records counts extracted entity rows.
+	Records int
+	// Regions counts detected record regions (tables).
+	Regions int
+	// HeaderAttrs is the set of attribute labels seen in headers, per class.
+	HeaderAttrs map[string]extract.AttrSet
+}
+
+// ListConfig controls list extraction.
+type ListConfig struct {
+	// MinRecordRows is the repetition threshold for a record region
+	// (default 3).
+	MinRecordRows int
+}
+
+// ExtractLists mines record regions from list pages.
+func ExtractLists(sites []ListSite, idx *extract.EntityIndex, cfg ListConfig, crit *confidence.Criterion) *ListResult {
+	if cfg.MinRecordRows <= 0 {
+		cfg.MinRecordRows = 3
+	}
+	res := &ListResult{HeaderAttrs: map[string]extract.AttrSet{}}
+	type cl struct{ entity, attr, value string }
+	type ev struct {
+		count int
+		hosts map[string]struct{}
+		provs []rdf.Provenance
+	}
+	claims := map[cl]*ev{}
+
+	for _, site := range sites {
+		set := res.HeaderAttrs[site.Class]
+		if set == nil {
+			set = extract.NewAttrSet()
+			res.HeaderAttrs[site.Class] = set
+		}
+		for _, p := range site.Pages {
+			for _, table := range p.Doc.FindAll("table") {
+				rows := directRows(table)
+				if len(rows) < cfg.MinRecordRows+1 {
+					continue
+				}
+				header, ok := headerLabels(rows[0])
+				if !ok {
+					continue
+				}
+				// Record rows: same cell count, first cell a known entity.
+				records := 0
+				for _, row := range rows[1:] {
+					cells := cellTexts(row)
+					if len(cells) != len(header) {
+						continue
+					}
+					entity := cells[0]
+					if c, known := idx.Class(entity); !known || c != site.Class {
+						continue
+					}
+					records++
+					for i := 1; i < len(cells); i++ {
+						attr := header[i]
+						value := cells[i]
+						if attr == "" || value == "" || value == "-" {
+							continue
+						}
+						set.Add(attr, site.Host)
+						c := cl{entity: entity, attr: attr, value: value}
+						e := claims[c]
+						if e == nil {
+							e = &ev{hosts: map[string]struct{}{}}
+							claims[c] = e
+						}
+						e.count++
+						if _, dup := e.hosts[site.Host]; !dup {
+							e.hosts[site.Host] = struct{}{}
+							e.provs = append(e.provs, rdf.Provenance{
+								Source: site.Host, Extractor: extract.ExtractorDOM, Document: p.URL,
+							})
+						}
+					}
+				}
+				if records >= cfg.MinRecordRows {
+					res.Regions++
+					res.Records += records
+				}
+			}
+		}
+	}
+	// Deterministic statement order.
+	keys := make([]cl, 0, len(claims))
+	for c := range claims {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.entity != b.entity {
+			return a.entity < b.entity
+		}
+		if a.attr != b.attr {
+			return a.attr < b.attr
+		}
+		return a.value < b.value
+	})
+	for _, c := range keys {
+		e := claims[c]
+		conf := 0.5
+		if crit != nil {
+			conf = crit.Score(extract.ExtractorDOM, e.count, len(e.hosts))
+		}
+		for _, prov := range e.provs {
+			res.Statements = append(res.Statements, rdf.S(
+				rdf.T(extract.EntityIRI(c.entity), extract.AttrIRI(c.attr), rdf.Literal(c.value)),
+				prov, conf))
+		}
+	}
+	return res
+}
+
+// directRows returns the table's tr descendants that belong to this table
+// (not to a nested table).
+func directRows(table *htmldom.Node) []*htmldom.Node {
+	var rows []*htmldom.Node
+	table.Walk(func(n *htmldom.Node) bool {
+		if n != table && n.Kind == htmldom.ElementNode && n.Tag == "table" {
+			return false
+		}
+		if n.Kind == htmldom.ElementNode && n.Tag == "tr" {
+			rows = append(rows, n)
+		}
+		return true
+	})
+	return rows
+}
+
+// headerLabels extracts normalised labels from a header row of th cells.
+// The first column is the record-name column and stays empty.
+func headerLabels(row *htmldom.Node) ([]string, bool) {
+	ths := row.FindAll("th")
+	if len(ths) < 2 {
+		return nil, false
+	}
+	out := make([]string, len(ths))
+	for i, th := range ths {
+		if i == 0 {
+			continue // name column
+		}
+		label := extract.NormalizeLabel(th.InnerText())
+		if !extract.ValidAttributeLabel(label) {
+			return nil, false
+		}
+		out[i] = label
+	}
+	return out, true
+}
+
+// cellTexts returns the normalised texts of a row's td cells.
+func cellTexts(row *htmldom.Node) []string {
+	tds := row.FindAll("td")
+	out := make([]string, len(tds))
+	for i, td := range tds {
+		out[i] = td.InnerText()
+	}
+	return out
+}

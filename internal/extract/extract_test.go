@@ -1,0 +1,146 @@
+package extract
+
+import (
+	"testing"
+
+	"akb/internal/kb"
+	"akb/internal/rdf"
+)
+
+func TestAttrSetAddAndEvidence(t *testing.T) {
+	s := NewAttrSet()
+	s.Add("director", "a")
+	s.Add("director", "b")
+	s.Add("director", "a")
+	s.Add("genre", "")
+	if !s.Has("director") || !s.Has("genre") || s.Has("absent") {
+		t.Fatal("membership wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	d := s["director"]
+	if d.Support != 3 {
+		t.Errorf("support = %d, want 3", d.Support)
+	}
+	if len(d.Sources) != 2 {
+		t.Errorf("sources = %d, want 2", len(d.Sources))
+	}
+	if len(s["genre"].Sources) != 0 {
+		t.Error("empty source should not be recorded")
+	}
+}
+
+func TestAttrSetNamesSorted(t *testing.T) {
+	s := NewAttrSet()
+	for _, a := range []string{"zeta", "alpha", "mid"} {
+		s.Add(a, "src")
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestAttrSetUnion(t *testing.T) {
+	a := NewAttrSet()
+	a.Add("x", "s1")
+	b := NewAttrSet()
+	b.Add("x", "s2")
+	b.Add("y", "s2")
+	b["y"].Confidence = 0.7
+	a.Union(b)
+	if a.Len() != 2 {
+		t.Fatalf("union Len = %d", a.Len())
+	}
+	if a["x"].Support != 2 || len(a["x"].Sources) != 2 {
+		t.Errorf("union evidence wrong: %+v", a["x"])
+	}
+	if a["y"].Confidence != 0.7 {
+		t.Errorf("union confidence = %g", a["y"].Confidence)
+	}
+}
+
+func TestAttrSetCloneIsDeep(t *testing.T) {
+	a := NewAttrSet()
+	a.Add("x", "s1")
+	c := a.Clone()
+	c.Add("x", "s2")
+	c.Add("y", "s1")
+	if a.Len() != 1 || a["x"].Support != 1 || len(a["x"].Sources) != 1 {
+		t.Error("clone mutated the original")
+	}
+}
+
+func TestEntityIndex(t *testing.T) {
+	w := kb.NewWorld(kb.WorldConfig{Seed: 1, EntitiesPerClass: 5, AttrsPerEntity: 8})
+	idx := NewEntityIndexFromWorld(w)
+	if idx.Len() != 25 {
+		t.Fatalf("index Len = %d, want 25", idx.Len())
+	}
+	name := w.EntityNames("Film")[0]
+	if c, ok := idx.Class(name); !ok || c != "Film" {
+		t.Errorf("Class(%q) = %q, %v", name, c, ok)
+	}
+	if _, ok := idx.Class("nobody"); ok {
+		t.Error("unknown entity resolved")
+	}
+	names := idx.Names()
+	if len(names) != 25 {
+		t.Errorf("Names = %d", len(names))
+	}
+}
+
+func TestEntityIndexFromSourceKB(t *testing.T) {
+	w := kb.NewWorld(kb.WorldConfig{Seed: 1, EntitiesPerClass: 10, AttrsPerEntity: 8})
+	fb := kb.GenerateFreebase(w, kb.KBGenConfig{Seed: 1, Coverage: 0.5})
+	idx := NewEntityIndex(fb)
+	if idx.Len() == 0 || idx.Len() >= 50 {
+		t.Fatalf("index Len = %d, want partial coverage", idx.Len())
+	}
+	for _, n := range fb.CoveredEntities["Book"] {
+		if c, ok := idx.Class(n); !ok || c != "Book" {
+			t.Errorf("covered entity %q missing from index", n)
+		}
+	}
+}
+
+func TestNormalizeLabel(t *testing.T) {
+	cases := map[string]string{
+		"Release Date:":  "release date",
+		"  Director :":   "director", // trailing colon dropped even when space-separated
+		"GENRE":          "genre",
+		"star   rating:": "star rating",
+		"":               "",
+	}
+	for in, want := range cases {
+		if got := NormalizeLabel(in); got != want {
+			t.Errorf("NormalizeLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAttrIRIRoundTrip(t *testing.T) {
+	attrs := []string{"director", "release date", "total adjusted budget"}
+	for _, a := range attrs {
+		if got := AttrFromIRI(AttrIRI(a)); got != a {
+			t.Errorf("attr IRI round trip %q -> %q", a, got)
+		}
+	}
+}
+
+func TestNewStatement(t *testing.T) {
+	s := NewStatement("Casablanca", "director", "Michael Curtiz", "imdb.example", ExtractorDOM, "page1", 0.8)
+	if err := s.Valid(); err != nil {
+		t.Fatalf("statement invalid: %v", err)
+	}
+	if s.Object != rdf.Literal("Michael Curtiz") {
+		t.Errorf("object = %v", s.Object)
+	}
+	if s.Provenance.Source != "imdb.example" || s.Provenance.Extractor != ExtractorDOM {
+		t.Errorf("provenance = %+v", s.Provenance)
+	}
+	if AttrFromIRI(s.Predicate) != "director" {
+		t.Errorf("predicate attr = %q", AttrFromIRI(s.Predicate))
+	}
+}

@@ -1,0 +1,492 @@
+// Package textx extracts attributes and triples from Web text. Following
+// the paper's design, it learns "regular lexical patterns — unified syntax
+// rules over the Web" from sentences whose attribute is already in the seed
+// set (seeded by the query-stream and existing-KB extractors), then applies
+// the learned patterns across the corpus to extract new attributes and
+// (entity, attribute, value) statements.
+//
+// A pattern is a token template with three slots, e.g.
+//
+//	the ⟨A⟩ of ⟨E⟩ is ⟨V⟩ .
+//
+// Learning abstracts seed sentences into templates; application matches
+// templates against sentences with backtracking, validating the ⟨E⟩ slot
+// against the entity index (entity linking) and the ⟨A⟩ slot against
+// attribute-label plausibility rules.
+package textx
+
+import (
+	"sort"
+	"strings"
+
+	"akb/internal/confidence"
+	"akb/internal/extract"
+	"akb/internal/rdf"
+	"akb/internal/webgen"
+)
+
+// Slot markers inside token templates.
+const (
+	slotE = "⟨E⟩"
+	slotA = "⟨A⟩"
+	slotV = "⟨V⟩"
+)
+
+// glueWords are function words assumed to belong to the template, not to
+// the value span, during pattern abstraction.
+var glueWords = map[string]bool{
+	"the": true, "of": true, "is": true, "was": true, "has": true,
+	"have": true, "a": true, "an": true, "its": true, "are": true,
+	"'s": true, ".": true, ",": true,
+}
+
+// Config controls text extraction.
+type Config struct {
+	// MinPatternSupport is the number of independent seed sentences a
+	// template needs before it is trusted for application.
+	MinPatternSupport int
+	// MaxSlotTokens bounds how many tokens a slot may capture.
+	MaxSlotTokens int
+	// DiscoverEntities also records candidate new entities: well-formed
+	// matches whose ⟨E⟩ binding is capitalised but unknown to the index.
+	DiscoverEntities bool
+}
+
+// DefaultConfig returns the standard configuration.
+func DefaultConfig() Config {
+	return Config{MinPatternSupport: 2, MaxSlotTokens: 6}
+}
+
+// ClassResult is the per-class outcome.
+type ClassResult struct {
+	Class string
+	// All is the enriched attribute set (seeds plus discoveries).
+	All extract.AttrSet
+	// Discovered holds attributes found by pattern application that were
+	// not in the seeds.
+	Discovered extract.AttrSet
+}
+
+// Result is the extraction outcome.
+type Result struct {
+	PerClass map[string]*ClassResult
+	// Patterns are the learned templates (canonical token strings) in
+	// descending support order.
+	Patterns []string
+	// Statements are extracted claims with per-document provenance.
+	Statements []rdf.Statement
+	// NewEntities maps candidate new entity names to their support, when
+	// Config.DiscoverEntities is set.
+	NewEntities map[string]int
+	// NewEntityFacts holds the full facts matched for unknown entities.
+	NewEntityFacts []extract.EntityFact
+}
+
+// Classes returns class names in sorted order.
+func (r *Result) Classes() []string {
+	out := make([]string, 0, len(r.PerClass))
+	for c := range r.PerClass {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+type claim struct{ entity, attr, value string }
+
+type claimEvidence struct {
+	count   int
+	sources map[string]struct{}
+	provs   []rdf.Provenance
+}
+
+// Extract learns patterns from seed-bearing sentences and applies them over
+// the corpus.
+func Extract(docs []*webgen.Document, idx *extract.EntityIndex, seeds map[string]extract.AttrSet, cfg Config, crit *confidence.Criterion) *Result {
+	if cfg.MinPatternSupport <= 0 {
+		cfg.MinPatternSupport = 2
+	}
+	if cfg.MaxSlotTokens <= 0 {
+		cfg.MaxSlotTokens = 6
+	}
+	res := &Result{PerClass: make(map[string]*ClassResult), NewEntities: make(map[string]int)}
+	for class, s := range seeds {
+		res.PerClass[class] = &ClassResult{Class: class, All: s.Clone(), Discovered: extract.NewAttrSet()}
+	}
+
+	// Phase 1: learn templates from sentences containing a known entity and
+	// a seed attribute.
+	templateSupport := map[string]int{}
+	entityNames := idx.Names()
+	for _, doc := range docs {
+		for _, sent := range SplitSentences(doc.Text) {
+			e := findEntity(sent, entityNames)
+			if e == "" {
+				continue
+			}
+			class, _ := idx.Class(e)
+			cr := res.PerClass[class]
+			if cr == nil {
+				continue
+			}
+			attr := findSeedAttr(sent, e, cr.All)
+			if attr == "" {
+				continue
+			}
+			if tmpl, ok := abstractSentence(sent, e, attr); ok {
+				templateSupport[tmpl]++
+			}
+		}
+	}
+	var templates []template
+	for tmpl, n := range templateSupport {
+		if n >= cfg.MinPatternSupport {
+			templates = append(templates, parseTemplate(tmpl))
+			res.Patterns = append(res.Patterns, tmpl)
+		}
+	}
+	sort.Slice(res.Patterns, func(i, j int) bool {
+		si, sj := templateSupport[res.Patterns[i]], templateSupport[res.Patterns[j]]
+		if si != sj {
+			return si > sj
+		}
+		return res.Patterns[i] < res.Patterns[j]
+	})
+	sort.Slice(templates, func(i, j int) bool { return templates[i].canon < templates[j].canon })
+
+	// Phase 2: apply templates across the corpus.
+	claims := make(map[claim]*claimEvidence)
+	for _, doc := range docs {
+		for _, sent := range SplitSentences(doc.Text) {
+			toks := TokenizeSentence(sent)
+			for _, tmpl := range templates {
+				b, ok := matchTemplate(tmpl, toks, idx, cfg)
+				if !ok {
+					continue
+				}
+				if b.entity == "" {
+					// Unknown-entity candidate (new entity creation).
+					if cfg.DiscoverEntities && b.rawEntity != "" {
+						res.NewEntities[b.rawEntity]++
+						res.NewEntityFacts = append(res.NewEntityFacts, extract.EntityFact{
+							Name: b.rawEntity, Class: doc.Class,
+							Attr: extract.NormalizeLabel(b.attr), Value: b.value,
+							Source: doc.Source, Doc: doc.ID,
+						})
+					}
+					continue
+				}
+				class, _ := idx.Class(b.entity)
+				cr := res.PerClass[class]
+				if cr == nil {
+					continue
+				}
+				attr := extract.NormalizeLabel(b.attr)
+				if !cr.All.Has(attr) {
+					cr.Discovered.Add(attr, doc.Source)
+					cr.All.Add(attr, doc.Source)
+				}
+				c := claim{entity: b.entity, attr: attr, value: b.value}
+				ev := claims[c]
+				if ev == nil {
+					ev = &claimEvidence{sources: make(map[string]struct{})}
+					claims[c] = ev
+				}
+				ev.count++
+				if _, dup := ev.sources[doc.Source]; !dup {
+					ev.sources[doc.Source] = struct{}{}
+					ev.provs = append(ev.provs, rdf.Provenance{
+						Source: doc.Source, Extractor: extract.ExtractorText, Document: doc.ID,
+					})
+				}
+				break // one match per sentence
+			}
+		}
+	}
+	if crit != nil {
+		for _, cr := range res.PerClass {
+			crit.ScoreAttrSet(extract.ExtractorText, cr.Discovered)
+			crit.ScoreAttrSet(extract.ExtractorText, cr.All)
+		}
+	}
+	res.Statements = buildStatements(claims, crit)
+	return res
+}
+
+// SplitSentences segments text into sentences on ". " boundaries, keeping
+// the final period with each sentence.
+func SplitSentences(text string) []string {
+	var out []string
+	for {
+		i := strings.Index(text, ". ")
+		if i < 0 {
+			break
+		}
+		out = append(out, strings.TrimSpace(text[:i+1]))
+		text = text[i+2:]
+	}
+	if t := strings.TrimSpace(text); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+// TokenizeSentence splits a sentence into tokens, separating "'s" clitics
+// and the trailing period into their own tokens.
+func TokenizeSentence(s string) []string {
+	s = strings.ReplaceAll(s, "'s ", " 's ")
+	if strings.HasSuffix(s, "'s") {
+		s = s[:len(s)-2] + " 's"
+	}
+	if strings.HasSuffix(s, ".") {
+		s = s[:len(s)-1] + " ."
+	}
+	return strings.Fields(s)
+}
+
+// findEntity returns the longest known entity name contained in the
+// sentence, or "".
+func findEntity(sent string, names []string) string {
+	best := ""
+	for _, n := range names {
+		if len(n) > len(best) && containsWord(sent, n) {
+			best = n
+		}
+	}
+	return best
+}
+
+// findSeedAttr returns a seed attribute mentioned in the sentence outside
+// the entity span, or "".
+func findSeedAttr(sent, entity string, seeds extract.AttrSet) string {
+	masked := strings.Replace(sent, entity, "", 1)
+	best := ""
+	for attr := range seeds {
+		if len(attr) > len(best) && containsWord(masked, attr) {
+			best = attr
+		}
+	}
+	return best
+}
+
+// containsWord reports whether needle occurs in haystack at word
+// boundaries.
+func containsWord(haystack, needle string) bool {
+	for start := 0; ; {
+		i := strings.Index(haystack[start:], needle)
+		if i < 0 {
+			return false
+		}
+		i += start
+		leftOK := i == 0 || haystack[i-1] == ' '
+		j := i + len(needle)
+		rightOK := j == len(haystack) || haystack[j] == ' ' || haystack[j] == '.' ||
+			haystack[j] == ',' || haystack[j] == '\''
+		if leftOK && rightOK {
+			return true
+		}
+		start = i + 1
+	}
+}
+
+// abstractSentence turns a seed sentence into a token template by replacing
+// the entity and attribute spans with slots and the longest remaining
+// non-glue token run with the value slot.
+func abstractSentence(sent, entity, attr string) (string, bool) {
+	s := strings.Replace(sent, entity, slotE, 1)
+	s = strings.Replace(s, attr, slotA, 1)
+	toks := TokenizeSentence(s)
+	// Find the longest run of non-glue, non-slot tokens.
+	bestStart, bestLen := -1, 0
+	curStart, curLen := -1, 0
+	for i, t := range toks {
+		lower := strings.ToLower(t)
+		if t == slotE || t == slotA || glueWords[lower] {
+			curStart, curLen = -1, 0
+			continue
+		}
+		if curStart < 0 {
+			curStart = i
+		}
+		curLen++
+		if curLen > bestLen {
+			bestStart, bestLen = curStart, curLen
+		}
+	}
+	if bestStart < 0 {
+		return "", false
+	}
+	out := make([]string, 0, len(toks)-bestLen+1)
+	for i := 0; i < len(toks); i++ {
+		if i == bestStart {
+			out = append(out, slotV)
+			i += bestLen - 1
+			continue
+		}
+		if t := toks[i]; t == slotE || t == slotA {
+			out = append(out, t)
+		} else {
+			out = append(out, strings.ToLower(t))
+		}
+	}
+	// A usable template mentions all three slots.
+	joined := strings.Join(out, " ")
+	if !strings.Contains(joined, slotE) || !strings.Contains(joined, slotA) || !strings.Contains(joined, slotV) {
+		return "", false
+	}
+	return joined, true
+}
+
+// template is a parsed token template.
+type template struct {
+	canon  string
+	tokens []string
+}
+
+func parseTemplate(canon string) template {
+	return template{canon: canon, tokens: strings.Fields(canon)}
+}
+
+// binding is a successful template match.
+type binding struct {
+	entity    string // resolved known entity ("" if unknown)
+	rawEntity string // raw ⟨E⟩ span
+	attr      string
+	value     string
+}
+
+// matchTemplate aligns the template against sentence tokens with
+// backtracking. Slots capture 1..MaxSlotTokens tokens; literals compare
+// case-insensitively. The ⟨E⟩ binding must resolve against the entity index
+// for a full match; otherwise the best-effort raw binding is returned with
+// ok=true and entity=="" only when every other constraint holds.
+func matchTemplate(tmpl template, toks []string, idx *extract.EntityIndex, cfg Config) (binding, bool) {
+	var out binding
+	var unknown binding
+	var haveUnknown bool
+
+	var rec func(ti, si int, b map[string][]string) bool
+	rec = func(ti, si int, b map[string][]string) bool {
+		if ti == len(tmpl.tokens) {
+			if si != len(toks) {
+				return false
+			}
+			cand := binding{
+				rawEntity: strings.Join(b[slotE], " "),
+				attr:      strings.Join(b[slotA], " "),
+				value:     strings.Join(b[slotV], " "),
+			}
+			if cand.attr == "" || cand.value == "" || cand.rawEntity == "" {
+				return false
+			}
+			// Value spans never contain glue words; rejecting them forces
+			// the backtracker to extend the attribute slot instead (e.g.
+			// "country of origin" rather than value "origin of X").
+			for _, vt := range b[slotV] {
+				if glueWords[strings.ToLower(vt)] {
+					return false
+				}
+			}
+			if !extract.ValidAttributeLabel(extract.NormalizeLabel(cand.attr)) {
+				return false
+			}
+			if _, known := idx.Class(cand.rawEntity); known {
+				cand.entity = cand.rawEntity
+				out = cand
+				return true
+			}
+			if cfg.DiscoverEntities && isCapitalizedSpan(cand.rawEntity) && !haveUnknown {
+				unknown = cand
+				haveUnknown = true
+			}
+			return false
+		}
+		tok := tmpl.tokens[ti]
+		switch tok {
+		case slotE, slotA, slotV:
+			for n := 1; n <= cfg.MaxSlotTokens && si+n <= len(toks); n++ {
+				b[tok] = toks[si : si+n]
+				if rec(ti+1, si+n, b) {
+					return true
+				}
+			}
+			delete(b, tok)
+			return false
+		default:
+			if si >= len(toks) || !strings.EqualFold(toks[si], tok) {
+				return false
+			}
+			return rec(ti+1, si+1, b)
+		}
+	}
+	if rec(0, 0, map[string][]string{}) {
+		return out, true
+	}
+	if haveUnknown {
+		return unknown, true
+	}
+	return binding{}, false
+}
+
+// isCapitalizedSpan accepts proper-noun spans: every word starts with an
+// upper-case letter or digit, except lower-case connectors ("of", "the",
+// "and") in the middle; the first and last word must be capitalised
+// ("University of Enel 24" qualifies, "motto of University" does not).
+func isCapitalizedSpan(s string) bool {
+	words := strings.Fields(s)
+	if len(words) == 0 {
+		return false
+	}
+	capitalized := func(w string) bool {
+		c := w[0]
+		return c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+	}
+	if !capitalized(words[0]) || !capitalized(words[len(words)-1]) {
+		return false
+	}
+	if len(words) < 3 {
+		return true
+	}
+	for _, w := range words[1 : len(words)-1] {
+		if capitalized(w) {
+			continue
+		}
+		switch w {
+		case "of", "the", "and":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func buildStatements(claims map[claim]*claimEvidence, crit *confidence.Criterion) []rdf.Statement {
+	keys := make([]claim, 0, len(claims))
+	for c := range claims {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.entity != b.entity {
+			return a.entity < b.entity
+		}
+		if a.attr != b.attr {
+			return a.attr < b.attr
+		}
+		return a.value < b.value
+	})
+	var out []rdf.Statement
+	for _, c := range keys {
+		ev := claims[c]
+		conf := 0.5
+		if crit != nil {
+			conf = crit.Score(extract.ExtractorText, ev.count, len(ev.sources))
+		}
+		for _, prov := range ev.provs {
+			out = append(out, rdf.S(
+				rdf.T(extract.EntityIRI(c.entity), extract.AttrIRI(c.attr), rdf.Literal(c.value)),
+				prov, conf))
+		}
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package textx
+
+import (
+	"strings"
+	"testing"
+
+	"akb/internal/confidence"
+	"akb/internal/extract"
+	"akb/internal/kb"
+	"akb/internal/webgen"
+)
+
+func setup(t *testing.T) (*kb.World, []*webgen.Document, *extract.EntityIndex, map[string]extract.AttrSet) {
+	t.Helper()
+	w := kb.NewWorld(kb.WorldConfig{Seed: 3, EntitiesPerClass: 20, AttrsPerEntity: 12})
+	docs := webgen.GenerateCorpus(w, webgen.TextConfig{
+		Seed: 3, DocsPerClass: 8, FactsPerDoc: 10, ValueErrorRate: 0.1, DistractorShare: 0.6,
+	})
+	idx := extract.NewEntityIndexFromWorld(w)
+	seeds := make(map[string]extract.AttrSet)
+	for _, cls := range w.Ontology.ClassNames() {
+		s := extract.NewAttrSet()
+		attrs := w.Ontology.Class(cls).AttributeNames()
+		for i := 0; i < 6 && i < len(attrs); i++ {
+			s.Add(attrs[i], "seed")
+		}
+		seeds[cls] = s
+	}
+	return w, docs, idx, seeds
+}
+
+func TestExtractLearnsPatterns(t *testing.T) {
+	_, docs, idx, seeds := setup(t)
+	res := Extract(docs, idx, seeds, DefaultConfig(), confidence.Default())
+	if len(res.Patterns) == 0 {
+		t.Fatal("no patterns learned")
+	}
+	// The corpus instantiates four sentence shapes; with enough seeds all
+	// four should be learned.
+	if len(res.Patterns) != 4 {
+		t.Errorf("learned %d patterns, want 4: %v", len(res.Patterns), res.Patterns)
+	}
+	for _, p := range res.Patterns {
+		if !strings.Contains(p, slotE) || !strings.Contains(p, slotA) || !strings.Contains(p, slotV) {
+			t.Errorf("pattern %q missing a slot", p)
+		}
+	}
+}
+
+func TestExtractDiscoversAttributes(t *testing.T) {
+	w, docs, idx, seeds := setup(t)
+	res := Extract(docs, idx, seeds, DefaultConfig(), confidence.Default())
+	totalDiscovered := 0
+	for _, cls := range w.Ontology.ClassNames() {
+		cr := res.PerClass[cls]
+		if cr == nil {
+			t.Fatalf("no result for %s", cls)
+		}
+		totalDiscovered += cr.Discovered.Len()
+		class := w.Ontology.Class(cls)
+		for attr := range cr.Discovered {
+			if _, ok := class.Attribute(attr); !ok {
+				t.Errorf("%s: discovered non-ontology attribute %q", cls, attr)
+			}
+		}
+	}
+	if totalDiscovered == 0 {
+		t.Fatal("no attributes discovered beyond seeds")
+	}
+}
+
+func TestExtractStatementsQuality(t *testing.T) {
+	w, docs, idx, seeds := setup(t)
+	res := Extract(docs, idx, seeds, DefaultConfig(), confidence.Default())
+	if len(res.Statements) == 0 {
+		t.Fatal("no statements")
+	}
+	correct, total := 0, 0
+	for _, s := range res.Statements {
+		if err := s.Valid(); err != nil {
+			t.Fatalf("invalid statement: %v", err)
+		}
+		entity := extract.AttrFromIRI(s.Subject)
+		e, ok := w.Entity(entity)
+		if !ok {
+			t.Fatalf("unknown entity %q", entity)
+		}
+		total++
+		if w.IsTrue(e, extract.AttrFromIRI(s.Predicate), s.Object.Value) {
+			correct++
+		}
+	}
+	prec := float64(correct) / float64(total)
+	if prec < 0.75 {
+		t.Errorf("precision = %.3f (%d/%d), want >= 0.75 at 10%% corpus error", prec, correct, total)
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	got := SplitSentences("One fact. Another fact here. Last.")
+	if len(got) != 3 {
+		t.Fatalf("got %d sentences: %v", len(got), got)
+	}
+	if got[0] != "One fact." || got[2] != "Last." {
+		t.Errorf("sentences = %v", got)
+	}
+	if n := len(SplitSentences("")); n != 0 {
+		t.Errorf("empty text gave %d sentences", n)
+	}
+	if n := len(SplitSentences("No trailing period")); n != 1 {
+		t.Errorf("unterminated text gave %d sentences", n)
+	}
+}
+
+func TestTokenizeSentence(t *testing.T) {
+	got := TokenizeSentence("Casablanca A7's director is Jane Doe.")
+	want := []string{"Casablanca", "A7", "'s", "director", "is", "Jane", "Doe", "."}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAbstractSentence(t *testing.T) {
+	tmpl, ok := abstractSentence("The director of Casablanca A7 is Jane Doe.", "Casablanca A7", "director")
+	if !ok {
+		t.Fatal("abstraction failed")
+	}
+	if tmpl != "the ⟨A⟩ of ⟨E⟩ is ⟨V⟩ ." {
+		t.Errorf("template = %q", tmpl)
+	}
+	tmpl2, ok2 := abstractSentence("Casablanca A7's composer is John Smith.", "Casablanca A7", "composer")
+	if !ok2 || tmpl2 != "⟨E⟩ 's ⟨A⟩ is ⟨V⟩ ." {
+		t.Errorf("clitic template = %q, ok=%v", tmpl2, ok2)
+	}
+	if _, ok3 := abstractSentence("The director of X is.", "X", "director"); ok3 {
+		t.Error("valueless sentence abstracted")
+	}
+}
+
+func TestMatchTemplateAttributeContainingOf(t *testing.T) {
+	w, _, idx, _ := setup(t)
+	e := w.EntityNames("Film")[0]
+	tmpl := parseTemplate("the ⟨A⟩ of ⟨E⟩ is ⟨V⟩ .")
+	toks := TokenizeSentence("The country of origin of " + e + " is Fooland.")
+	b, ok := matchTemplate(tmpl, toks, idx, DefaultConfig())
+	if !ok {
+		t.Fatal("no match")
+	}
+	if b.attr != "country of origin" {
+		t.Errorf("attr = %q, want country of origin", b.attr)
+	}
+	if b.entity != e {
+		t.Errorf("entity = %q, want %q", b.entity, e)
+	}
+	if b.value != "Fooland" {
+		t.Errorf("value = %q", b.value)
+	}
+}
+
+func TestMatchTemplateEntityContainingOf(t *testing.T) {
+	w, _, idx, _ := setup(t)
+	uni := w.EntityNames("University")[0]
+	tmpl := parseTemplate("the ⟨A⟩ of ⟨E⟩ is ⟨V⟩ .")
+	toks := TokenizeSentence("The motto of " + uni + " is Excelsior.")
+	b, ok := matchTemplate(tmpl, toks, idx, Config{MaxSlotTokens: 8, MinPatternSupport: 2})
+	if !ok {
+		t.Fatal("no match")
+	}
+	if b.entity != uni || b.attr != "motto" || b.value != "Excelsior" {
+		t.Errorf("binding = %+v", b)
+	}
+}
+
+func TestMatchTemplateRejectsUnknownEntity(t *testing.T) {
+	_, _, idx, _ := setup(t)
+	tmpl := parseTemplate("the ⟨A⟩ of ⟨E⟩ is ⟨V⟩ .")
+	toks := TokenizeSentence("The capital of Atlantis is Poseidonia.")
+	if _, ok := matchTemplate(tmpl, toks, idx, DefaultConfig()); ok {
+		t.Error("unknown entity accepted without DiscoverEntities")
+	}
+	cfg := DefaultConfig()
+	cfg.DiscoverEntities = true
+	b, ok := matchTemplate(tmpl, toks, idx, cfg)
+	if !ok || b.entity != "" || b.rawEntity != "Atlantis" {
+		t.Errorf("entity discovery binding = %+v, ok=%v", b, ok)
+	}
+}
+
+func TestDiscoverEntitiesEndToEnd(t *testing.T) {
+	_, docs, idx, seeds := setup(t)
+	// Plant sentences about an unknown entity using a seed attribute.
+	planted := &webgen.Document{
+		ID: "planted", Source: "planted.example.org", Class: "Film",
+		Text: "The composer of Zanzibar Nights is Leo Fontaine. The composer of Zanzibar Nights is Leo Fontaine.",
+	}
+	docs = append(docs, planted)
+	cfg := DefaultConfig()
+	cfg.DiscoverEntities = true
+	res := Extract(docs, idx, seeds, cfg, nil)
+	if res.NewEntities["Zanzibar Nights"] < 2 {
+		t.Errorf("new entity support = %d, want >= 2 (map: %v)", res.NewEntities["Zanzibar Nights"], res.NewEntities)
+	}
+}
+
+func TestMinPatternSupportFiltersRareTemplates(t *testing.T) {
+	_, docs, idx, seeds := setup(t)
+	strict := Extract(docs, idx, seeds, Config{MinPatternSupport: 100000, MaxSlotTokens: 6}, nil)
+	if len(strict.Patterns) != 0 {
+		t.Errorf("impossible support threshold still learned %d patterns", len(strict.Patterns))
+	}
+	if len(strict.Statements) != 0 {
+		t.Error("statements extracted without patterns")
+	}
+}
+
+func TestContainsWord(t *testing.T) {
+	cases := []struct {
+		hay, needle string
+		want        bool
+	}{
+		{"the director of X", "director", true},
+		{"the codirector of X", "director", false},
+		{"director", "director", true},
+		{"a directors cut", "director", false},
+		{"X's director.", "director", true},
+	}
+	for _, c := range cases {
+		if got := containsWord(c.hay, c.needle); got != c.want {
+			t.Errorf("containsWord(%q, %q) = %v, want %v", c.hay, c.needle, got, c.want)
+		}
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	_, docs, idx, seeds := setup(t)
+	a := Extract(docs, idx, seeds, DefaultConfig(), confidence.Default())
+	b := Extract(docs, idx, seeds, DefaultConfig(), confidence.Default())
+	if len(a.Statements) != len(b.Statements) {
+		t.Fatal("statement counts differ")
+	}
+	for i := range a.Statements {
+		if a.Statements[i].String() != b.Statements[i].String() {
+			t.Fatalf("statement %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package fusion
+
+import (
+	"math"
+
+	"akb/internal/mapreduce"
+	"akb/internal/rdf"
+)
+
+// Accu implements the ACCU baseline (Dong et al., PVLDB 2009 / VLDB'14
+// adaptation): iterative joint estimation of source accuracy and value
+// probability under a single-truth assumption. Each value's vote count is
+//
+//	C(v) = Σ_{s asserts v} w_s · ln( n·A(s) / (1 − A(s)) )
+//
+// where n is the number of possible false values; value probabilities are
+// the softmax of vote counts, and source accuracies are re-estimated as the
+// average probability of the values the source claims.
+//
+// With Popularity set, the uniform false-value distribution 1/n is replaced
+// by each value's empirical popularity, turning ACCU into POPACCU: popular
+// false values are less surprising, so agreeing on a popular value is
+// weaker evidence of truth.
+type Accu struct {
+	// Popularity switches to the POPACCU false-value model.
+	Popularity bool
+	// Weighted multiplies each vote by the claim's extractor confidence.
+	Weighted bool
+	// Discount optionally down-weights correlated sources.
+	Discount *Correlations
+	// Iterations bounds the EM loop (default 20).
+	Iterations int
+	// InitialAccuracy seeds source accuracy (default 0.8, as in the
+	// literature when no gold standard is available).
+	InitialAccuracy float64
+	// Workers configures map-reduce parallelism.
+	Workers int
+}
+
+// Name implements Method.
+func (a *Accu) Name() string {
+	name := "ACCU"
+	if a.Popularity {
+		name = "POPACCU"
+	}
+	if a.Weighted {
+		name += "+conf"
+	}
+	if a.Discount != nil {
+		name += "+corr"
+	}
+	return name
+}
+
+const (
+	minAccuracy = 0.01
+	maxAccuracy = 0.99
+)
+
+// Fuse implements Method.
+func (a *Accu) Fuse(c *Claims) *Result {
+	iters := a.Iterations
+	if iters <= 0 {
+		iters = 20
+	}
+	init := a.InitialAccuracy
+	if init <= 0 || init >= 1 {
+		init = 0.8
+	}
+	acc := make(map[string]float64, len(c.SourceNames))
+	for _, s := range c.SourceNames {
+		acc[s] = init
+	}
+
+	type itemProbs struct {
+		item  *Item
+		probs map[string]float64 // value key -> probability
+	}
+	var lastE []itemProbs
+
+	for iter := 0; iter < iters; iter++ {
+		// E-step: per-item value probabilities given source accuracies.
+		// Items are independent — one map-reduce pass.
+		lastE = mapreduce.Run(mapreduce.Config{Workers: a.Workers}, c.Items,
+			func(it *Item) []mapreduce.KV[itemProbs] {
+				return []mapreduce.KV[itemProbs]{{Key: it.Key, Value: itemProbs{item: it, probs: a.eStep(it, acc)}}}
+			},
+			func(key string, vs []itemProbs) []itemProbs { return vs })
+
+		// M-step: source accuracy = mean probability of claimed values.
+		sum := make(map[string]float64, len(acc))
+		cnt := make(map[string]float64, len(acc))
+		for _, ip := range lastE {
+			for _, vc := range ip.item.Values {
+				p := ip.probs[vc.Value.Key()]
+				for _, sc := range vc.Sources {
+					sum[sc.Source] += p
+					cnt[sc.Source]++
+				}
+			}
+		}
+		converged := true
+		for s := range acc {
+			next := acc[s]
+			if cnt[s] > 0 {
+				next = clampAcc(sum[s] / cnt[s])
+			}
+			if math.Abs(next-acc[s]) > 1e-6 {
+				converged = false
+			}
+			acc[s] = next
+		}
+		if converged && iter > 0 {
+			break
+		}
+	}
+
+	res := &Result{Method: a.Name(), Decisions: make(map[string]*Decision, len(c.Items)), SourceQuality: acc}
+	for _, ip := range lastE {
+		d := &Decision{Item: ip.item, Belief: ip.probs}
+		var best rdf.Term
+		bestP := -1.0
+		for _, vc := range ip.item.Values {
+			p := ip.probs[vc.Value.Key()]
+			if p > bestP || (p == bestP && vc.Value.Compare(best) < 0) {
+				best, bestP = vc.Value, p
+			}
+		}
+		if bestP >= 0 {
+			d.Truths = []rdf.Term{best}
+		}
+		res.Decisions[ip.item.Key] = d
+	}
+	return res
+}
+
+// eStep computes value probabilities for one item.
+func (a *Accu) eStep(it *Item, acc map[string]float64) map[string]float64 {
+	nFalse := float64(len(it.Values) - 1)
+	if nFalse < 1 {
+		nFalse = 1
+	}
+	// Popularity of each value among the item's claims (smoothed), used by
+	// POPACCU as the false-claim emission distribution.
+	var totalClaims float64
+	for _, vc := range it.Values {
+		totalClaims += float64(len(vc.Sources))
+	}
+	scores := make(map[string]float64, len(it.Values))
+	maxScore := math.Inf(-1)
+	for _, vc := range it.Values {
+		score := 0.0
+		for _, sc := range vc.Sources {
+			A := clampAcc(acc[sc.Source])
+			var falseProb float64
+			if a.Popularity {
+				falseProb = (float64(len(vc.Sources)) + 1) / (totalClaims + float64(len(it.Values)))
+			} else {
+				falseProb = 1 / nFalse
+			}
+			w := 1.0
+			if a.Weighted {
+				w = sc.Confidence
+				if w <= 0 {
+					w = 0.5
+				}
+			}
+			if a.Discount != nil {
+				w *= a.Discount.Weight(sc.Source)
+			}
+			score += w * math.Log(A/((1-A)*falseProb))
+		}
+		scores[vc.Value.Key()] = score
+		if score > maxScore {
+			maxScore = score
+		}
+	}
+	// Softmax with max-shift for numerical stability.
+	var z float64
+	for k := range scores {
+		scores[k] = math.Exp(scores[k] - maxScore)
+		z += scores[k]
+	}
+	for k := range scores {
+		scores[k] /= z
+	}
+	return scores
+}
+
+func clampAcc(a float64) float64 {
+	if a < minAccuracy {
+		return minAccuracy
+	}
+	if a > maxAccuracy {
+		return maxAccuracy
+	}
+	return a
+}

@@ -1,0 +1,104 @@
+package fusion
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"akb/internal/rdf"
+)
+
+func benchClaims(b *testing.B, nItems, nSources int) *Claims {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	var stmts []rdf.Statement
+	for i := 0; i < nItems; i++ {
+		item := fmt.Sprintf("item%05d", i)
+		tv := fmt.Sprintf("true%05d", i)
+		for s := 0; s < nSources; s++ {
+			v := tv
+			if r.Float64() > 0.8 {
+				v = fmt.Sprintf("wrong%05d_%d", i, r.Intn(2))
+			}
+			stmts = append(stmts, stmt(item, v, fmt.Sprintf("src%02d", s), 0.8))
+		}
+	}
+	return BuildClaims(stmts, BySource)
+}
+
+func BenchmarkVote1000Items(b *testing.B) {
+	c := benchClaims(b, 1000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&Vote{}).Fuse(c)
+	}
+}
+
+func BenchmarkAccu1000Items(b *testing.B) {
+	c := benchClaims(b, 1000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&Accu{}).Fuse(c)
+	}
+}
+
+func BenchmarkPopAccu1000Items(b *testing.B) {
+	c := benchClaims(b, 1000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&Accu{Popularity: true}).Fuse(c)
+	}
+}
+
+func BenchmarkMultiTruth1000Items(b *testing.B) {
+	c := benchClaims(b, 1000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		(&MultiTruth{}).Fuse(c)
+	}
+}
+
+func BenchmarkDetectCorrelations(b *testing.B) {
+	c := benchClaims(b, 1000, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DetectCorrelations(c, DefaultCorrelationConfig())
+	}
+}
+
+func BenchmarkBuildClaims(b *testing.B) {
+	r := rand.New(rand.NewSource(2))
+	var stmts []rdf.Statement
+	for i := 0; i < 5000; i++ {
+		stmts = append(stmts, stmt(
+			fmt.Sprintf("item%04d", i%1000),
+			fmt.Sprintf("v%d", r.Intn(3)),
+			fmt.Sprintf("src%02d", r.Intn(12)),
+			0.8))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildClaims(stmts, BySource)
+	}
+}
+
+// BenchmarkAccuScaling shows per-item cost stays roughly flat as the item
+// count grows (the map-reduce dataflow the knowledge-fusion literature
+// relies on for scale).
+func BenchmarkAccuScaling(b *testing.B) {
+	for _, n := range []int{500, 2000, 8000} {
+		c := benchClaims(b, n, 6)
+		b.Run(fmt.Sprintf("items=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				(&Accu{}).Fuse(c)
+			}
+		})
+	}
+}

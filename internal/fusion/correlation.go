@@ -1,0 +1,203 @@
+package fusion
+
+import (
+	"sort"
+)
+
+// Correlations captures detected copy-correlations between sources and the
+// resulting per-source vote weights. Following the paper's third fusion
+// bullet (and simplifying the Bayesian copy-detection of Dong et al.,
+// PVLDB 2010), sources that (nearly) always provide identical values on the
+// items they share are grouped into correlation clusters; within a cluster
+// only one representative votes at full weight and the rest are discounted,
+// so a copier cannot amplify its original's (possibly wrong) claims.
+//
+// The discriminating signal is the agreement ratio on shared items: two
+// independent sources with accuracies A1, A2 agree with probability about
+// A1·A2 plus a small same-error term, which stays visibly below 1, whereas
+// replication drives agreement to (nearly) 1. This detects exact and
+// near-exact copying; partially-overlapping copying requires the full joint
+// Bayesian treatment of Dong et al., which the paper leaves as future work.
+type Correlations struct {
+	// ClusterOf maps each source to its cluster representative.
+	ClusterOf map[string]string
+	// weights maps each source to its vote multiplier.
+	weights map[string]float64
+	// Pairs lists detected correlated pairs with their agreement ratio.
+	Pairs []CorrelatedPair
+}
+
+// CorrelatedPair is one detected source correlation.
+type CorrelatedPair struct {
+	A, B      string
+	Agreement float64
+}
+
+// Weight returns the vote multiplier for a source (1 for uncorrelated
+// sources).
+func (c *Correlations) Weight(source string) float64 {
+	if c == nil {
+		return 1
+	}
+	if w, ok := c.weights[source]; ok {
+		return w
+	}
+	return 1
+}
+
+// CorrelationConfig controls copy detection.
+type CorrelationConfig struct {
+	// AgreementThreshold is the same-value agreement ratio on shared items
+	// above which two sources are considered correlated (default 0.98).
+	// The high default means only (near-)exact replication is flagged: two
+	// independently accurate sources (e.g. two curated KBs at 98% accuracy
+	// each) agree on roughly the product of their accuracies, which stays
+	// safely below it.
+	AgreementThreshold float64
+	// MinCommonItems is the minimum number of shared items before the
+	// agreement ratio is meaningful (default 3).
+	MinCommonItems int
+	// CopierWeight is the vote multiplier for non-representative members of
+	// a correlation cluster (default 0.2).
+	CopierWeight float64
+}
+
+// DefaultCorrelationConfig returns the standard configuration.
+func DefaultCorrelationConfig() CorrelationConfig {
+	return CorrelationConfig{AgreementThreshold: 0.98, MinCommonItems: 3, CopierWeight: 0.2}
+}
+
+// DetectCorrelations measures pairwise agreement on shared items and groups
+// sources into correlation clusters via union-find.
+func DetectCorrelations(c *Claims, cfg CorrelationConfig) *Correlations {
+	if cfg.AgreementThreshold <= 0 {
+		cfg.AgreementThreshold = 0.98
+	}
+	if cfg.MinCommonItems <= 0 {
+		cfg.MinCommonItems = 3
+	}
+	if cfg.CopierWeight <= 0 {
+		cfg.CopierWeight = 0.2
+	}
+
+	// Per source: item -> set of value keys asserted.
+	claimed := map[string]map[string]map[string]struct{}{}
+	for _, it := range c.Items {
+		for _, vc := range it.Values {
+			for _, sc := range vc.Sources {
+				byItem := claimed[sc.Source]
+				if byItem == nil {
+					byItem = map[string]map[string]struct{}{}
+					claimed[sc.Source] = byItem
+				}
+				vs := byItem[it.Key]
+				if vs == nil {
+					vs = map[string]struct{}{}
+					byItem[it.Key] = vs
+				}
+				vs[vc.Value.Key()] = struct{}{}
+			}
+		}
+	}
+
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(s string) string {
+		p, ok := parent[s]
+		if !ok || p == s {
+			parent[s] = s
+			return s
+		}
+		r := find(p)
+		parent[s] = r
+		return r
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+	}
+
+	out := &Correlations{ClusterOf: map[string]string{}, weights: map[string]float64{}}
+	names := c.SourceNames
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := names[i], names[j]
+			shared, agree := 0, 0
+			for item, va := range claimed[a] {
+				vb, ok := claimed[b][item]
+				if !ok {
+					continue
+				}
+				shared++
+				if sameValueSet(va, vb) {
+					agree++
+				}
+			}
+			if shared < cfg.MinCommonItems {
+				continue
+			}
+			ratio := float64(agree) / float64(shared)
+			if ratio >= cfg.AgreementThreshold {
+				out.Pairs = append(out.Pairs, CorrelatedPair{A: a, B: b, Agreement: ratio})
+				union(a, b)
+			}
+		}
+	}
+	sort.Slice(out.Pairs, func(i, j int) bool {
+		if out.Pairs[i].A != out.Pairs[j].A {
+			return out.Pairs[i].A < out.Pairs[j].A
+		}
+		return out.Pairs[i].B < out.Pairs[j].B
+	})
+	for _, s := range names {
+		rep := find(s)
+		out.ClusterOf[s] = rep
+		if rep == s {
+			out.weights[s] = 1
+		} else {
+			out.weights[s] = cfg.CopierWeight
+		}
+	}
+	return out
+}
+
+func sameValueSet(a, b map[string]struct{}) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Clusters returns the correlation clusters with more than one member, each
+// sorted, ordered by representative.
+func (c *Correlations) Clusters() [][]string {
+	groups := map[string][]string{}
+	for s, rep := range c.ClusterOf {
+		groups[rep] = append(groups[rep], s)
+	}
+	var reps []string
+	for rep, members := range groups {
+		if len(members) > 1 {
+			reps = append(reps, rep)
+		}
+	}
+	sort.Strings(reps)
+	out := make([][]string, 0, len(reps))
+	for _, rep := range reps {
+		members := groups[rep]
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package fusion
+
+import (
+	"akb/internal/hierarchy"
+	"akb/internal/rdf"
+)
+
+// Hierarchical wraps a base fusion method with hierarchical value-space
+// reasoning — the paper's second fusion bullet. Values of one item that lie
+// on a generalisation path (Wuhan ⊂ Hubei ⊂ China) are not conflicting:
+//
+//   - every claim on a strict generalisation also supports each claimed
+//     most-specific descendant (at AncestorWeight discount, since "China"
+//     is genuinely ambiguous between Chinese cities);
+//   - pure-generalisation values do not compete as candidates themselves —
+//     their truth is implied by whichever specific value wins;
+//   - after base fusion, claimed generalisations of every accepted value
+//     are accepted too (the paper's "(birth place, China) and (birth
+//     place, Wuhan) can both be true").
+//
+// Without this, generalisation claims split the vote and a flat fuser may
+// prefer an unrelated-but-better-supported wrong value.
+type Hierarchical struct {
+	// Base is the underlying fusion method run on the folded claims.
+	Base Method
+	// Forest is the value hierarchy.
+	Forest *hierarchy.Forest
+	// AncestorWeight discounts the confidence of ancestor claims folded
+	// into a descendant candidate (default 0.7).
+	AncestorWeight float64
+}
+
+// Name implements Method.
+func (h *Hierarchical) Name() string { return h.Base.Name() + "+hier" }
+
+// Fuse implements Method.
+func (h *Hierarchical) Fuse(c *Claims) *Result {
+	folded, expansions := h.fold(c)
+	res := h.Base.Fuse(folded)
+	res.Method = h.Name()
+
+	// Expand accepted values with their claimed generalisations. Values are
+	// never invented: only generalisations actually claimed by some source
+	// are added.
+	for key, d := range res.Decisions {
+		claimedAncestors := expansions[key]
+		if len(claimedAncestors) == 0 {
+			continue
+		}
+		var extra []rdf.Term
+		for _, t := range d.Truths {
+			if !t.IsLiteral() {
+				continue
+			}
+			for _, anc := range h.Forest.Ancestors(t.Value) {
+				if claimedAncestors[anc] {
+					at := rdf.Literal(anc)
+					if !d.Accepted(at) && !contains(extra, at) {
+						extra = append(extra, at)
+						if d.Belief != nil {
+							d.Belief[at.Key()] = d.Belief[t.Key()]
+						}
+					}
+				}
+			}
+		}
+		d.Truths = sortedTruths(append(d.Truths, extra...))
+	}
+	return res
+}
+
+func contains(ts []rdf.Term, t rdf.Term) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// fold rewrites each item's hierarchical values: maximal-specific claimed
+// values become the only candidates, each absorbing its claimed ancestors'
+// sources at AncestorWeight. It returns the folded claims plus, per item,
+// the set of claimed pure-generalisation values for post-fusion expansion.
+func (h *Hierarchical) fold(c *Claims) (*Claims, map[string]map[string]bool) {
+	aw := h.AncestorWeight
+	if aw <= 0 || aw > 1 {
+		aw = 0.7
+	}
+	out := &Claims{SourceNames: c.SourceNames}
+	expansions := make(map[string]map[string]bool)
+	for _, it := range c.Items {
+		newItem := &Item{Key: it.Key, Subject: it.Subject, Predicate: it.Predicate}
+		var hierVals []string
+		byValue := map[string]*ValueClaims{}
+		for _, vc := range it.Values {
+			if vc.Value.IsLiteral() && h.Forest.Known(vc.Value.Value) {
+				hierVals = append(hierVals, vc.Value.Value)
+				byValue[vc.Value.Value] = vc
+			}
+		}
+		clusters := h.Forest.ClusterCompatible(hierVals)
+		handled := map[string]bool{}
+		claimedAnc := map[string]bool{}
+		for _, cluster := range clusters {
+			if len(cluster) < 2 {
+				continue
+			}
+			// Record claimed generalisations for post-fusion expansion.
+			for _, v := range cluster {
+				for _, b := range cluster {
+					if v != b && h.Forest.IsAncestor(v, b) {
+						claimedAnc[v] = true
+					}
+				}
+			}
+			// Fold only pure chains (every pair on one generalisation path):
+			// a country claim on a chain item is a vote for its city — the
+			// paper's (Wuhan, China) example. Clusters with sibling
+			// branches are left untouched: there the generalisation is
+			// genuinely ambiguous between the siblings, and folding it onto
+			// one of them would manufacture support (and, for the EM-based
+			// methods, corrupt the source-quality estimates).
+			if !isChain(h.Forest, cluster) {
+				continue
+			}
+			// ClusterCompatible orders most-general first; the chain's most
+			// specific member absorbs everything.
+			rep := cluster[len(cluster)-1]
+			merged := &ValueClaims{Value: rdf.Literal(rep)}
+			conf := map[string]float64{}
+			for _, sc := range byValue[rep].Sources {
+				conf[sc.Source] = sc.Confidence
+			}
+			for _, a := range cluster {
+				if a == rep {
+					continue
+				}
+				for _, sc := range byValue[a].Sources {
+					w := sc.Confidence * aw
+					if w > conf[sc.Source] {
+						conf[sc.Source] = w
+					}
+				}
+			}
+			for _, src := range sortedKeys(conf) {
+				merged.Sources = append(merged.Sources, SourceClaim{Source: src, Confidence: conf[src]})
+			}
+			newItem.Values = append(newItem.Values, merged)
+			for _, v := range cluster {
+				handled[v] = true
+			}
+		}
+		// Values outside any multi-member cluster pass through unchanged.
+		for _, vc := range it.Values {
+			if vc.Value.IsLiteral() && handled[vc.Value.Value] {
+				continue
+			}
+			newItem.Values = append(newItem.Values, vc)
+		}
+		sortValues(newItem)
+		out.Items = append(out.Items, newItem)
+		if len(claimedAnc) > 0 {
+			expansions[it.Key] = claimedAnc
+		}
+	}
+	return out, expansions
+}
+
+// isChain reports whether every pair of cluster values lies on a single
+// generalisation path.
+func isChain(f *hierarchy.Forest, cluster []string) bool {
+	for i := 0; i < len(cluster); i++ {
+		for j := i + 1; j < len(cluster); j++ {
+			a, b := cluster[i], cluster[j]
+			if a != b && !f.IsAncestor(a, b) && !f.IsAncestor(b, a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func sortValues(it *Item) {
+	vs := it.Values
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j].Value.Compare(vs[j-1].Value) < 0; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}

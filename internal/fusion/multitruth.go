@@ -1,0 +1,240 @@
+package fusion
+
+import (
+	"math"
+	"sort"
+
+	"akb/internal/mapreduce"
+	"akb/internal/rdf"
+)
+
+// MultiTruth implements a latent-truth-model-style multi-truth fusion after
+// Zhao et al. (PVLDB 2012): each (item, value) pair has an independent
+// truth variable, and each source is characterised by sensitivity (recall —
+// the probability it asserts a true value of an item it covers) and
+// specificity (the probability it refrains from asserting a false value).
+// Unlike the single-truth baselines it can accept several values per item,
+// handling non-functional attributes (a film's several producers) — the
+// first bullet of the paper's fusion design.
+//
+// Inference is EM: the E-step computes per-(item, value) posteriors on the
+// map-reduce executor; the M-step re-estimates source sensitivity and
+// specificity from the posteriors.
+type MultiTruth struct {
+	// Prior is the prior probability a claimed value is true (default 0.5).
+	Prior float64
+	// AcceptThreshold is the posterior needed to accept a value
+	// (default 0.5).
+	AcceptThreshold float64
+	// Weighted exponentiates each source's likelihood ratio by its claim
+	// confidence, softening the influence of low-confidence extractions.
+	Weighted bool
+	// Discount optionally down-weights correlated sources.
+	Discount *Correlations
+	// Iterations bounds the EM loop (default 15).
+	Iterations int
+	// Workers configures map-reduce parallelism.
+	Workers int
+}
+
+// Name implements Method.
+func (m *MultiTruth) Name() string {
+	name := "MULTI"
+	if m.Weighted {
+		name += "+conf"
+	}
+	if m.Discount != nil {
+		name += "+corr"
+	}
+	return name
+}
+
+type sourceStats struct {
+	sens float64
+	spec float64
+}
+
+// Fuse implements Method.
+func (m *MultiTruth) Fuse(c *Claims) *Result {
+	prior := m.Prior
+	if prior <= 0 || prior >= 1 {
+		prior = 0.5
+	}
+	thresh := m.AcceptThreshold
+	if thresh <= 0 {
+		thresh = 0.5
+	}
+	iters := m.Iterations
+	if iters <= 0 {
+		iters = 15
+	}
+	stats := make(map[string]sourceStats, len(c.SourceNames))
+	for _, s := range c.SourceNames {
+		stats[s] = sourceStats{sens: 0.8, spec: 0.9}
+	}
+
+	// Precompute, per item, which sources cover it (assert any value).
+	covering := make([][]string, len(c.Items))
+	for i, it := range c.Items {
+		set := map[string]struct{}{}
+		for _, vc := range it.Values {
+			for _, sc := range vc.Sources {
+				set[sc.Source] = struct{}{}
+			}
+		}
+		for s := range set {
+			covering[i] = append(covering[i], s)
+		}
+		// Deterministic order: float accumulation in eStep must not depend
+		// on map iteration, or near-tie decisions flip between runs.
+		sort.Strings(covering[i])
+	}
+	itemIdx := make(map[string]int, len(c.Items))
+	for i, it := range c.Items {
+		itemIdx[it.Key] = i
+	}
+
+	type itemPost struct {
+		item  *Item
+		probs map[string]float64
+	}
+	var lastE []itemPost
+
+	for iter := 0; iter < iters; iter++ {
+		lastE = mapreduce.Run(mapreduce.Config{Workers: m.Workers}, c.Items,
+			func(it *Item) []mapreduce.KV[itemPost] {
+				probs := m.eStep(it, covering[itemIdx[it.Key]], stats, prior)
+				return []mapreduce.KV[itemPost]{{Key: it.Key, Value: itemPost{item: it, probs: probs}}}
+			},
+			func(key string, vs []itemPost) []itemPost { return vs })
+
+		// M-step.
+		type acc struct{ tpSens, totSens, tnSpec, totSpec float64 }
+		accs := make(map[string]*acc, len(stats))
+		for s := range stats {
+			accs[s] = &acc{}
+		}
+		for i, ip := range lastE {
+			asserted := make(map[string]map[string]struct{}) // source -> value keys
+			for _, vc := range ip.item.Values {
+				for _, sc := range vc.Sources {
+					vs := asserted[sc.Source]
+					if vs == nil {
+						vs = map[string]struct{}{}
+						asserted[sc.Source] = vs
+					}
+					vs[vc.Value.Key()] = struct{}{}
+				}
+			}
+			for _, src := range covering[i] {
+				a := accs[src]
+				for _, vc := range ip.item.Values {
+					p := ip.probs[vc.Value.Key()]
+					_, claims := asserted[src][vc.Value.Key()]
+					// Sensitivity: of true values, how many does src assert?
+					a.totSens += p
+					if claims {
+						a.tpSens += p
+					}
+					// Specificity: of false values, how many does src skip?
+					a.totSpec += 1 - p
+					if !claims {
+						a.tnSpec += 1 - p
+					}
+				}
+			}
+		}
+		for s, a := range accs {
+			st := stats[s]
+			if a.totSens > 0 {
+				st.sens = clampRate(a.tpSens / a.totSens)
+			}
+			if a.totSpec > 0 {
+				st.spec = clampRate(a.tnSpec / a.totSpec)
+			}
+			stats[s] = st
+		}
+	}
+
+	res := &Result{
+		Method:        m.Name(),
+		Decisions:     make(map[string]*Decision, len(c.Items)),
+		SourceQuality: make(map[string]float64, len(stats)),
+	}
+	for s, st := range stats {
+		res.SourceQuality[s] = st.sens
+	}
+	for _, ip := range lastE {
+		d := &Decision{Item: ip.item, Belief: ip.probs}
+		for _, vc := range ip.item.Values {
+			if ip.probs[vc.Value.Key()] >= thresh {
+				d.Truths = append(d.Truths, vc.Value)
+			}
+		}
+		// Guarantee at least one truth per claimed item: take the argmax
+		// when nothing clears the threshold.
+		if len(d.Truths) == 0 && len(ip.item.Values) > 0 {
+			var best rdf.Term
+			bestP := -1.0
+			for _, vc := range ip.item.Values {
+				if p := ip.probs[vc.Value.Key()]; p > bestP || (p == bestP && vc.Value.Compare(best) < 0) {
+					best, bestP = vc.Value, p
+				}
+			}
+			d.Truths = []rdf.Term{best}
+		}
+		d.Truths = sortedTruths(d.Truths)
+		res.Decisions[ip.item.Key] = d
+	}
+	return res
+}
+
+func (m *MultiTruth) eStep(it *Item, covering []string, stats map[string]sourceStats, prior float64) map[string]float64 {
+	probs := make(map[string]float64, len(it.Values))
+	for _, vc := range it.Values {
+		asserters := make(map[string]float64, len(vc.Sources))
+		for _, sc := range vc.Sources {
+			asserters[sc.Source] = sc.Confidence
+		}
+		logOdds := math.Log(prior / (1 - prior))
+		for _, src := range covering {
+			st := stats[src]
+			var ratio float64
+			conf, claims := asserters[src]
+			if claims {
+				ratio = st.sens / (1 - st.spec)
+			} else {
+				ratio = (1 - st.sens) / st.spec
+				conf = 1
+			}
+			w := 1.0
+			if m.Weighted && claims {
+				if conf <= 0 {
+					conf = 0.5
+				}
+				// Map confidence into [0.5, 1]: low-confidence claims are
+				// dampened but not annihilated. Using raw confidence as the
+				// exponent would bias fusion toward rejection, because
+				// assertions would count less than the full-weight silent
+				// negatives of non-claiming sources.
+				w = 0.5 + conf/2
+			}
+			if m.Discount != nil {
+				w *= m.Discount.Weight(src)
+			}
+			logOdds += w * math.Log(ratio)
+		}
+		probs[vc.Value.Key()] = 1 / (1 + math.Exp(-logOdds))
+	}
+	return probs
+}
+
+func clampRate(r float64) float64 {
+	if r < 0.05 {
+		return 0.05
+	}
+	if r > 0.95 {
+		return 0.95
+	}
+	return r
+}

@@ -1,0 +1,87 @@
+package fusion
+
+import (
+	"akb/internal/mapreduce"
+	"akb/internal/rdf"
+)
+
+// Vote is the VOTE baseline: each item's truth is the value asserted by the
+// most sources; ties break towards the lexicographically smaller value so
+// results are deterministic. With Weighted set, each source's vote counts
+// its extractor confidence instead of 1 (the paper's "leveraging confidence
+// scores" improvement applied to the simplest baseline).
+type Vote struct {
+	// Weighted makes votes count claim confidence instead of 1.
+	Weighted bool
+	// Discount optionally down-weights votes from correlated sources; nil
+	// means independence is assumed.
+	Discount *Correlations
+	// Workers configures map-reduce parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Name implements Method.
+func (v *Vote) Name() string {
+	switch {
+	case v.Weighted && v.Discount != nil:
+		return "VOTE+conf+corr"
+	case v.Weighted:
+		return "VOTE+conf"
+	case v.Discount != nil:
+		return "VOTE+corr"
+	default:
+		return "VOTE"
+	}
+}
+
+// Fuse implements Method. Items are independent, so the whole method is one
+// map-reduce pass keyed by item.
+func (v *Vote) Fuse(c *Claims) *Result {
+	decisions := mapreduce.Run(mapreduce.Config{Workers: v.Workers}, c.Items,
+		func(it *Item) []mapreduce.KV[*Decision] {
+			return []mapreduce.KV[*Decision]{{Key: it.Key, Value: v.decide(it)}}
+		},
+		func(key string, ds []*Decision) []*Decision { return ds })
+	res := &Result{Method: v.Name(), Decisions: make(map[string]*Decision, len(decisions))}
+	for _, d := range decisions {
+		res.Decisions[d.Item.Key] = d
+	}
+	return res
+}
+
+func (v *Vote) decide(it *Item) *Decision {
+	d := &Decision{Item: it, Belief: make(map[string]float64, len(it.Values))}
+	var best rdf.Term
+	bestScore := -1.0
+	total := 0.0
+	for _, vc := range it.Values {
+		score := 0.0
+		for _, sc := range vc.Sources {
+			w := 1.0
+			if v.Weighted {
+				w = sc.Confidence
+				if w <= 0 {
+					w = 0.5
+				}
+			}
+			if v.Discount != nil {
+				w *= v.Discount.Weight(sc.Source)
+			}
+			score += w
+		}
+		d.Belief[vc.Value.Key()] = score
+		total += score
+		if score > bestScore || (score == bestScore && vc.Value.Compare(best) < 0) {
+			best, bestScore = vc.Value, score
+		}
+	}
+	if total > 0 {
+		for k := range d.Belief {
+			d.Belief[k] /= total
+		}
+	}
+	if bestScore >= 0 {
+		d.Truths = []rdf.Term{best}
+	}
+	return d
+}

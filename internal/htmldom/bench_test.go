@@ -1,0 +1,80 @@
+package htmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchPage() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>Bench</title></head><body>")
+	b.WriteString(`<h1 class="entity">Bench Entity</h1><table class="infobox">`)
+	for i := 0; i < 60; i++ {
+		b.WriteString("<tr><th>Label ")
+		b.WriteString(strings.Repeat("x", i%7))
+		b.WriteString(":</th><td><b>Value ")
+		b.WriteString(strings.Repeat("y", i%11))
+		b.WriteString("</b></td></tr>")
+	}
+	b.WriteString("</table>")
+	for i := 0; i < 20; i++ {
+		b.WriteString(`<div class="ad"><span>Advertisement</span></div><p>Some filler &amp; text.</p>`)
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+func BenchmarkTokenize(b *testing.B) {
+	page := benchPage()
+	b.SetBytes(int64(len(page)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize(page)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	page := benchPage()
+	b.SetBytes(int64(len(page)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(page)
+	}
+}
+
+func BenchmarkPathBetween(b *testing.B) {
+	doc := Parse(benchPage())
+	h1 := doc.Find("h1")
+	tds := doc.FindAll("td")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, td := range tds {
+			if _, ok := PathBetweenFunc(h1, td, QualifiedStep); !ok {
+				b.Fatal("no path")
+			}
+		}
+	}
+}
+
+func BenchmarkSimilarity(b *testing.B) {
+	doc := Parse(benchPage())
+	h1 := doc.Find("h1")
+	ths := doc.FindAll("th")
+	tds := doc.FindAll("td")
+	p1, _ := PathBetweenFunc(h1, ths[0], QualifiedStep)
+	p2, _ := PathBetweenFunc(h1, tds[0], QualifiedStep)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Similarity(p1, p2)
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	doc := Parse(benchPage())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = doc.Render()
+	}
+}

@@ -1,0 +1,222 @@
+package htmldom
+
+import (
+	"strings"
+)
+
+// NodeKind enumerates DOM node types.
+type NodeKind uint8
+
+const (
+	// ElementNode is a tag with children.
+	ElementNode NodeKind = iota
+	// TextNode is character data.
+	TextNode
+	// CommentNode is an HTML comment.
+	CommentNode
+	// DocumentNode is the synthetic root of a parsed document.
+	DocumentNode
+)
+
+// Node is a node of the DOM tree.
+type Node struct {
+	Kind NodeKind
+	// Tag is the element name for ElementNode ("" otherwise).
+	Tag string
+	// Text is the character data for TextNode and CommentNode.
+	Text string
+	// Attrs are the element attributes.
+	Attrs []Attr
+
+	Parent   *Node
+	Children []*Node
+	// Index is the position of this node among its parent's children.
+	Index int
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(key string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// AppendChild attaches child as the last child of n.
+func (n *Node) AppendChild(child *Node) {
+	child.Parent = n
+	child.Index = len(n.Children)
+	n.Children = append(n.Children, child)
+}
+
+// InnerText concatenates all descendant text with single-space normalisation.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.collectText(&b)
+	return NormalizeSpace(b.String())
+}
+
+func (n *Node) collectText(b *strings.Builder) {
+	if n.Kind == TextNode {
+		b.WriteString(n.Text)
+		b.WriteByte(' ')
+		return
+	}
+	for _, c := range n.Children {
+		c.collectText(b)
+	}
+}
+
+// NormalizeSpace collapses runs of whitespace into single spaces and trims.
+func NormalizeSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Walk visits n and all its descendants in document order. If fn returns
+// false for a node its subtree is skipped.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// TextNodes returns every descendant text node with non-empty normalised
+// content, in document order.
+func (n *Node) TextNodes() []*Node {
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.Kind == TextNode && NormalizeSpace(c.Text) != "" {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// Find returns the first descendant element with the given tag, or nil.
+func (n *Node) Find(tag string) *Node {
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if found != nil {
+			return false
+		}
+		if c.Kind == ElementNode && c.Tag == tag {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindAll returns every descendant element with the given tag in document
+// order.
+func (n *Node) FindAll(tag string) []*Node {
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.Kind == ElementNode && c.Tag == tag {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// FindByAttr returns every descendant element whose attribute key equals val.
+func (n *Node) FindByAttr(key, val string) []*Node {
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.Kind == ElementNode {
+			if v, ok := c.Attr(key); ok && v == val {
+				out = append(out, c)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Render serialises the subtree back to HTML.
+func (n *Node) Render() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	switch n.Kind {
+	case DocumentNode:
+		for _, c := range n.Children {
+			c.render(b)
+		}
+	case TextNode:
+		// Script and style bodies are raw text in HTML: the tokenizer reads
+		// them without entity decoding, so rendering must not escape them.
+		if n.Parent != nil && (n.Parent.Tag == "script" || n.Parent.Tag == "style") {
+			b.WriteString(n.Text)
+		} else {
+			b.WriteString(EscapeText(n.Text))
+		}
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Text)
+		b.WriteString("-->")
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Key)
+			b.WriteString(`="`)
+			b.WriteString(EscapeText(a.Val))
+			b.WriteByte('"')
+		}
+		if voidElements[n.Tag] {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteByte('>')
+		for _, c := range n.Children {
+			c.render(b)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Tag)
+		b.WriteByte('>')
+	}
+}
+
+// NewElement builds an element node with optional attributes given as
+// key, value pairs.
+func NewElement(tag string, kv ...string) *Node {
+	n := &Node{Kind: ElementNode, Tag: tag}
+	for i := 0; i+1 < len(kv); i += 2 {
+		n.Attrs = append(n.Attrs, Attr{Key: kv[i], Val: kv[i+1]})
+	}
+	return n
+}
+
+// NewText builds a text node.
+func NewText(text string) *Node { return &Node{Kind: TextNode, Text: text} }
+
+// Depth returns the number of ancestors of n.
+func (n *Node) Depth() int {
+	d := 0
+	for cur := n.Parent; cur != nil; cur = cur.Parent {
+		d++
+	}
+	return d
+}
+
+// Root returns the topmost ancestor of n.
+func (n *Node) Root() *Node {
+	cur := n
+	for cur.Parent != nil {
+		cur = cur.Parent
+	}
+	return cur
+}

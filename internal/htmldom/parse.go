@@ -1,0 +1,74 @@
+package htmldom
+
+// voidElements never have children; a start tag is complete by itself.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// impliedEnd lists tags whose open instance is implicitly closed when a
+// sibling of the same group starts (a small practical subset of the HTML5
+// tree-construction rules).
+var impliedEnd = map[string]map[string]bool{
+	"li":     {"li": true},
+	"p":      {"p": true, "div": true, "table": true, "ul": true, "ol": true, "h1": true, "h2": true, "h3": true},
+	"td":     {"td": true, "th": true, "tr": true},
+	"th":     {"td": true, "th": true, "tr": true},
+	"tr":     {"tr": true},
+	"option": {"option": true},
+	"dt":     {"dt": true, "dd": true},
+	"dd":     {"dt": true, "dd": true},
+}
+
+// Parse builds a DOM tree from HTML source. The returned node is a
+// DocumentNode whose children are the top-level nodes. Parsing is resilient:
+// stray end tags are ignored and unclosed elements are closed at EOF.
+func Parse(src string) *Node {
+	doc := &Node{Kind: DocumentNode}
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	for _, tok := range Tokenize(src) {
+		switch tok.Kind {
+		case TokenText:
+			// Skip pure-whitespace runs between elements to keep trees
+			// compact; meaningful text always has non-space characters.
+			if NormalizeSpace(tok.Data) == "" {
+				continue
+			}
+			top().AppendChild(&Node{Kind: TextNode, Text: tok.Data})
+		case TokenComment:
+			top().AppendChild(&Node{Kind: CommentNode, Text: tok.Data})
+		case TokenDoctype:
+			// Dropped: the tree does not model doctypes.
+		case TokenSelfClosing:
+			el := &Node{Kind: ElementNode, Tag: tok.Data, Attrs: tok.Attrs}
+			top().AppendChild(el)
+		case TokenStartTag:
+			// Apply implied-end rules: e.g. a new <li> closes an open <li>.
+			for len(stack) > 1 {
+				open := top().Tag
+				if closers, ok := impliedEnd[open]; ok && closers[tok.Data] {
+					stack = stack[:len(stack)-1]
+					continue
+				}
+				break
+			}
+			el := &Node{Kind: ElementNode, Tag: tok.Data, Attrs: tok.Attrs}
+			top().AppendChild(el)
+			if !voidElements[tok.Data] {
+				stack = append(stack, el)
+			}
+		case TokenEndTag:
+			// Pop to the matching open tag if one exists; otherwise ignore.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == tok.Data {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+	return doc
+}

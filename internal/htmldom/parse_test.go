@@ -1,0 +1,189 @@
+package htmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+const samplePage = `<!DOCTYPE html>
+<html>
+<head><title>Casablanca (1942)</title></head>
+<body>
+  <div id="content">
+    <h1 class="entity">Casablanca</h1>
+    <table class="infobox">
+      <tr><th>Director</th><td>Michael Curtiz</td></tr>
+      <tr><th>Release date</th><td>1942</td></tr>
+      <tr><th>Genre</th><td><a href="/g/drama">Drama</a></td></tr>
+    </table>
+    <p>Plot summary here.</p>
+  </div>
+</body>
+</html>`
+
+func TestParseStructure(t *testing.T) {
+	doc := Parse(samplePage)
+	if doc.Kind != DocumentNode {
+		t.Fatal("root is not a document node")
+	}
+	html := doc.Find("html")
+	if html == nil {
+		t.Fatal("no html element")
+	}
+	h1 := doc.Find("h1")
+	if h1 == nil || h1.InnerText() != "Casablanca" {
+		t.Fatalf("h1 = %v", h1)
+	}
+	rows := doc.FindAll("tr")
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	ths := doc.FindAll("th")
+	tds := doc.FindAll("td")
+	if len(ths) != 3 || len(tds) != 3 {
+		t.Fatalf("got %d th, %d td; want 3, 3", len(ths), len(tds))
+	}
+	if tds[0].InnerText() != "Michael Curtiz" {
+		t.Errorf("first td = %q", tds[0].InnerText())
+	}
+	if tds[2].InnerText() != "Drama" {
+		t.Errorf("anchor td = %q", tds[2].InnerText())
+	}
+}
+
+func TestParseImpliedEnds(t *testing.T) {
+	doc := Parse(`<ul><li>one<li>two<li>three</ul>`)
+	lis := doc.FindAll("li")
+	if len(lis) != 3 {
+		t.Fatalf("got %d li, want 3", len(lis))
+	}
+	for i, want := range []string{"one", "two", "three"} {
+		if got := lis[i].InnerText(); got != want {
+			t.Errorf("li %d = %q, want %q", i, got, want)
+		}
+		if lis[i].Parent.Tag != "ul" {
+			t.Errorf("li %d parent = %q, want ul", i, lis[i].Parent.Tag)
+		}
+	}
+	// td implied by next tr
+	doc2 := Parse(`<table><tr><td>a<td>b<tr><td>c</table>`)
+	if got := len(doc2.FindAll("td")); got != 3 {
+		t.Errorf("got %d td, want 3", got)
+	}
+	if got := len(doc2.FindAll("tr")); got != 2 {
+		t.Errorf("got %d tr, want 2", got)
+	}
+}
+
+func TestParseVoidElements(t *testing.T) {
+	doc := Parse(`<p>one<br>two<img src="x"></p>`)
+	p := doc.Find("p")
+	if p == nil {
+		t.Fatal("no p")
+	}
+	if br := doc.Find("br"); br == nil || len(br.Children) != 0 {
+		t.Error("br missing or has children")
+	}
+	if got := p.InnerText(); got != "one two" {
+		t.Errorf("p text = %q", got)
+	}
+}
+
+func TestParseIgnoresStrayEndTags(t *testing.T) {
+	doc := Parse(`</div><p>ok</p></span>`)
+	if p := doc.Find("p"); p == nil || p.InnerText() != "ok" {
+		t.Fatal("stray end tags broke parse")
+	}
+}
+
+func TestParseUnclosedAtEOF(t *testing.T) {
+	doc := Parse(`<div><p>text`)
+	if p := doc.Find("p"); p == nil || p.InnerText() != "text" {
+		t.Fatal("unclosed elements not recovered at EOF")
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	doc := Parse(samplePage)
+	rendered := doc.Render()
+	doc2 := Parse(rendered)
+	// Structural equality: same tags, same texts in the same order.
+	var tags1, tags2, texts1, texts2 []string
+	collect := func(n *Node, tags, texts *[]string) {
+		n.Walk(func(c *Node) bool {
+			if c.Kind == ElementNode {
+				*tags = append(*tags, c.Tag)
+			}
+			if c.Kind == TextNode {
+				*texts = append(*texts, NormalizeSpace(c.Text))
+			}
+			return true
+		})
+	}
+	collect(doc, &tags1, &texts1)
+	collect(doc2, &tags2, &texts2)
+	if strings.Join(tags1, ",") != strings.Join(tags2, ",") {
+		t.Errorf("tags differ:\n%v\n%v", tags1, tags2)
+	}
+	if strings.Join(texts1, "|") != strings.Join(texts2, "|") {
+		t.Errorf("texts differ:\n%v\n%v", texts1, texts2)
+	}
+}
+
+func TestFindByAttr(t *testing.T) {
+	doc := Parse(samplePage)
+	got := doc.FindByAttr("class", "infobox")
+	if len(got) != 1 || got[0].Tag != "table" {
+		t.Fatalf("FindByAttr = %v", got)
+	}
+	if len(doc.FindByAttr("class", "nope")) != 0 {
+		t.Error("found nonexistent attr value")
+	}
+}
+
+func TestTextNodes(t *testing.T) {
+	doc := Parse(`<div> <p>alpha</p> <p> </p> <p>beta</p> </div>`)
+	tn := doc.TextNodes()
+	if len(tn) != 2 {
+		t.Fatalf("got %d text nodes, want 2", len(tn))
+	}
+	if NormalizeSpace(tn[0].Text) != "alpha" || NormalizeSpace(tn[1].Text) != "beta" {
+		t.Errorf("text nodes = %q, %q", tn[0].Text, tn[1].Text)
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	doc := Parse(samplePage)
+	td := doc.FindAll("td")[0]
+	if td.Depth() == 0 {
+		t.Error("td depth should be > 0")
+	}
+	if td.Root() != doc {
+		t.Error("Root should return the document")
+	}
+	h1 := doc.Find("h1")
+	if v, ok := h1.Attr("class"); !ok || v != "entity" {
+		t.Errorf("h1 class = %q, %v", v, ok)
+	}
+	if _, ok := h1.Attr("id"); ok {
+		t.Error("h1 has no id")
+	}
+}
+
+func TestNewElementAndText(t *testing.T) {
+	el := NewElement("div", "id", "x", "class", "y")
+	el.AppendChild(NewText("hello"))
+	if el.Render() != `<div id="x" class="y">hello</div>` {
+		t.Errorf("Render = %q", el.Render())
+	}
+	if el.Children[0].Parent != el || el.Children[0].Index != 0 {
+		t.Error("AppendChild bookkeeping wrong")
+	}
+}
+
+func TestEntityDecodingInParse(t *testing.T) {
+	doc := Parse(`<p>Tom &amp; Jerry &lt;3</p>`)
+	if got := doc.Find("p").InnerText(); got != "Tom & Jerry <3" {
+		t.Errorf("entity decoding: %q", got)
+	}
+}

@@ -1,0 +1,284 @@
+// Package htmldom implements an HTML tokenizer, a DOM tree builder, and the
+// tag-path machinery used by the DOM-tree attribute extractor (Algorithm 1 in
+// the paper). It is written from scratch against a pragmatic subset of HTML:
+// start/end/self-closing tags with attributes, text, comments, doctype, void
+// elements, and implicit closing for common table/list/paragraph tags. That
+// subset covers everything the synthetic website generator (internal/webgen)
+// produces and the regular template-driven pages the paper's algorithm
+// targets.
+package htmldom
+
+import (
+	"strings"
+)
+
+// TokenKind enumerates the token types produced by the tokenizer.
+type TokenKind uint8
+
+const (
+	// TokenText is a run of character data between tags.
+	TokenText TokenKind = iota
+	// TokenStartTag is an opening tag, possibly with attributes.
+	TokenStartTag
+	// TokenEndTag is a closing tag.
+	TokenEndTag
+	// TokenSelfClosing is a tag closed inline, e.g. <br/>.
+	TokenSelfClosing
+	// TokenComment is an HTML comment.
+	TokenComment
+	// TokenDoctype is a <!DOCTYPE ...> declaration.
+	TokenDoctype
+)
+
+// String returns a readable token-kind name.
+func (k TokenKind) String() string {
+	switch k {
+	case TokenText:
+		return "text"
+	case TokenStartTag:
+		return "start"
+	case TokenEndTag:
+		return "end"
+	case TokenSelfClosing:
+		return "selfclosing"
+	case TokenComment:
+		return "comment"
+	case TokenDoctype:
+		return "doctype"
+	default:
+		return "unknown"
+	}
+}
+
+// Attr is a single tag attribute.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Token is one lexical unit of an HTML document.
+type Token struct {
+	Kind TokenKind
+	// Data is the tag name (lowercased) for tag tokens, the text content for
+	// text tokens, or the raw body for comments/doctype.
+	Data  string
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (t Token) Attr(key string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// Tokenize splits an HTML document into tokens. It never fails: malformed
+// markup degrades to text tokens, mirroring browser resilience.
+func Tokenize(src string) []Token {
+	var out []Token
+	i := 0
+	for i < len(src) {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			out = appendText(out, src[i:])
+			break
+		}
+		if lt > 0 {
+			out = appendText(out, src[i:i+lt])
+			i += lt
+		}
+		// src[i] == '<'
+		if strings.HasPrefix(src[i:], "<!--") {
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				out = append(out, Token{Kind: TokenComment, Data: src[i+4:]})
+				break
+			}
+			out = append(out, Token{Kind: TokenComment, Data: src[i+4 : i+4+end]})
+			i += 4 + end + 3
+			continue
+		}
+		if len(src) > i+1 && src[i+1] == '!' {
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				out = appendText(out, src[i:])
+				break
+			}
+			out = append(out, Token{Kind: TokenDoctype, Data: strings.TrimSpace(src[i+2 : i+end])})
+			i += end + 1
+			continue
+		}
+		gt := strings.IndexByte(src[i:], '>')
+		if gt < 0 {
+			out = appendText(out, src[i:])
+			break
+		}
+		raw := src[i+1 : i+gt]
+		i += gt + 1
+		tok, ok := parseTag(raw)
+		if !ok {
+			out = appendText(out, "<"+raw+">")
+			continue
+		}
+		out = append(out, tok)
+		// Raw-text elements: script and style content is opaque.
+		if tok.Kind == TokenStartTag && (tok.Data == "script" || tok.Data == "style") {
+			closer := "</" + tok.Data
+			idx := indexFold(src[i:], closer)
+			if idx < 0 {
+				out = appendText(out, src[i:])
+				break
+			}
+			if idx > 0 {
+				out = append(out, Token{Kind: TokenText, Data: src[i : i+idx]})
+			}
+			i += idx
+		}
+	}
+	return out
+}
+
+func appendText(out []Token, text string) []Token {
+	if text == "" {
+		return out
+	}
+	return append(out, Token{Kind: TokenText, Data: UnescapeEntities(text)})
+}
+
+// indexFold is a case-insensitive strings.Index for ASCII needles.
+func indexFold(haystack, needle string) int {
+	h := strings.ToLower(haystack)
+	return strings.Index(h, strings.ToLower(needle))
+}
+
+func parseTag(raw string) (Token, bool) {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return Token{}, false
+	}
+	kind := TokenStartTag
+	if raw[0] == '/' {
+		kind = TokenEndTag
+		raw = strings.TrimSpace(raw[1:])
+	} else if strings.HasSuffix(raw, "/") {
+		kind = TokenSelfClosing
+		raw = strings.TrimSpace(raw[:len(raw)-1])
+	}
+	if raw == "" {
+		return Token{}, false
+	}
+	// Tag name: letters, digits, '-'.
+	n := 0
+	for n < len(raw) && isTagNameChar(raw[n]) {
+		n++
+	}
+	if n == 0 {
+		return Token{}, false
+	}
+	tok := Token{Kind: kind, Data: strings.ToLower(raw[:n])}
+	if kind == TokenEndTag {
+		return tok, true
+	}
+	tok.Attrs = parseAttrs(raw[n:])
+	return tok, true
+}
+
+func isTagNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-'
+}
+
+func parseAttrs(s string) []Attr {
+	var attrs []Attr
+	i := 0
+	for i < len(s) {
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		// Attribute name.
+		start := i
+		for i < len(s) && s[i] != '=' && !isSpace(s[i]) {
+			i++
+		}
+		name := strings.ToLower(s[start:i])
+		if name == "" {
+			i++
+			continue
+		}
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			attrs = append(attrs, Attr{Key: name})
+			continue
+		}
+		i++ // consume '='
+		for i < len(s) && isSpace(s[i]) {
+			i++
+		}
+		var val string
+		if i < len(s) && (s[i] == '"' || s[i] == '\'') {
+			quote := s[i]
+			i++
+			end := strings.IndexByte(s[i:], quote)
+			if end < 0 {
+				val = s[i:]
+				i = len(s)
+			} else {
+				val = s[i : i+end]
+				i += end + 1
+			}
+		} else {
+			start = i
+			for i < len(s) && !isSpace(s[i]) {
+				i++
+			}
+			val = s[start:i]
+		}
+		attrs = append(attrs, Attr{Key: name, Val: UnescapeEntities(val)})
+	}
+	return attrs
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&",
+	"&lt;", "<",
+	"&gt;", ">",
+	"&quot;", `"`,
+	"&#39;", "'",
+	"&apos;", "'",
+	"&nbsp;", " ",
+)
+
+var escapeReplacer = strings.NewReplacer(
+	"&", "&amp;",
+	"<", "&lt;",
+	">", "&gt;",
+	`"`, "&quot;",
+)
+
+// UnescapeEntities decodes the named character references produced by
+// EscapeText plus &nbsp; and numeric apostrophes.
+func UnescapeEntities(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}
+
+// EscapeText encodes text so it can be embedded in an HTML document.
+func EscapeText(s string) string {
+	if !strings.ContainsAny(s, `&<>"`) {
+		return s
+	}
+	return escapeReplacer.Replace(s)
+}

@@ -1,0 +1,143 @@
+// Package mapreduce is a deterministic in-process map-shuffle-reduce
+// executor. Dong et al. (VLDB'14) scale data-fusion methods to knowledge
+// fusion with a MapReduce framework; the fusion methods in internal/fusion
+// run on this executor so the same sharded dataflow structure is exercised
+// without a cluster. Mapping runs in parallel across workers; the shuffle
+// groups by key; reduction runs in parallel but output order is always the
+// sorted key order, so results are reproducible.
+package mapreduce
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// KV is one key/value pair emitted by a mapper.
+type KV[V any] struct {
+	Key   string
+	Value V
+}
+
+// Config controls executor parallelism.
+type Config struct {
+	// Workers is the number of concurrent map (and reduce) workers;
+	// defaults to GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes a map-shuffle-reduce job: mapper is applied to every input,
+// emitted pairs are grouped by key, and reducer is applied to each group.
+// The returned slice concatenates reducer outputs in sorted key order.
+func Run[I, V, O any](cfg Config, inputs []I, mapper func(I) []KV[V], reducer func(key string, values []V) []O) []O {
+	groups := Shuffle(MapPhase(cfg, inputs, mapper))
+	return ReducePhase(cfg, groups, reducer)
+}
+
+// MapPhase applies mapper to every input in parallel, preserving input
+// order in the concatenated output.
+func MapPhase[I, V any](cfg Config, inputs []I, mapper func(I) []KV[V]) []KV[V] {
+	w := cfg.workers()
+	if w > len(inputs) {
+		w = len(inputs)
+	}
+	if w <= 1 {
+		var out []KV[V]
+		for _, in := range inputs {
+			out = append(out, mapper(in)...)
+		}
+		return out
+	}
+	results := make([][]KV[V], len(inputs))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i] = mapper(inputs[i])
+			}
+		}()
+	}
+	for i := range inputs {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	var out []KV[V]
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}
+
+// Group is one shuffled key group.
+type Group[V any] struct {
+	Key    string
+	Values []V
+}
+
+// Shuffle groups pairs by key. Groups are returned in sorted key order and
+// values preserve emission order.
+func Shuffle[V any](pairs []KV[V]) []Group[V] {
+	m := make(map[string][]V)
+	for _, p := range pairs {
+		m[p.Key] = append(m[p.Key], p.Value)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Group[V], len(keys))
+	for i, k := range keys {
+		out[i] = Group[V]{Key: k, Values: m[k]}
+	}
+	return out
+}
+
+// ReducePhase applies reducer to each group in parallel; the concatenated
+// output follows the groups' (sorted-key) order.
+func ReducePhase[V, O any](cfg Config, groups []Group[V], reducer func(key string, values []V) []O) []O {
+	w := cfg.workers()
+	if w > len(groups) {
+		w = len(groups)
+	}
+	if w <= 1 {
+		var out []O
+		for _, g := range groups {
+			out = append(out, reducer(g.Key, g.Values)...)
+		}
+		return out
+	}
+	results := make([][]O, len(groups))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i] = reducer(groups[i].Key, groups[i].Values)
+			}
+		}()
+	}
+	for i := range groups {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	var out []O
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	return out
+}

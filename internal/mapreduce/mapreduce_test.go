@@ -1,0 +1,123 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunWordCount(t *testing.T) {
+	inputs := []string{"a b a", "b c", "a"}
+	got := Run(Config{Workers: 4}, inputs,
+		func(line string) []KV[int] {
+			var out []KV[int]
+			for _, w := range strings.Fields(line) {
+				out = append(out, KV[int]{Key: w, Value: 1})
+			}
+			return out
+		},
+		func(key string, values []int) []string {
+			sum := 0
+			for _, v := range values {
+				sum += v
+			}
+			return []string{fmt.Sprintf("%s=%d", key, sum)}
+		})
+	want := []string{"a=3", "b=2", "c=1"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	got := Run(Config{}, nil,
+		func(int) []KV[int] { return nil },
+		func(string, []int) []int { return nil })
+	if len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestShuffleOrdering(t *testing.T) {
+	pairs := []KV[int]{
+		{Key: "z", Value: 1}, {Key: "a", Value: 2}, {Key: "z", Value: 3}, {Key: "m", Value: 4},
+	}
+	groups := Shuffle(pairs)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	if groups[0].Key != "a" || groups[1].Key != "m" || groups[2].Key != "z" {
+		t.Errorf("keys not sorted: %v", groups)
+	}
+	if len(groups[2].Values) != 2 || groups[2].Values[0] != 1 || groups[2].Values[1] != 3 {
+		t.Errorf("value order not preserved: %v", groups[2].Values)
+	}
+}
+
+func TestMapPhasePreservesInputOrder(t *testing.T) {
+	inputs := make([]int, 100)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	pairs := MapPhase(Config{Workers: 8}, inputs, func(i int) []KV[int] {
+		return []KV[int]{{Key: "k", Value: i}}
+	})
+	for i, p := range pairs {
+		if p.Value != i {
+			t.Fatalf("pair %d = %d, order not preserved", i, p.Value)
+		}
+	}
+}
+
+// Property: Run with 1 worker and Run with many workers produce identical
+// results for a commutative-input job.
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	f := func(data []uint8) bool {
+		inputs := make([]int, len(data))
+		for i, d := range data {
+			inputs[i] = int(d) % 16
+		}
+		job := func(workers int) []string {
+			return Run(Config{Workers: workers}, inputs,
+				func(i int) []KV[int] {
+					return []KV[int]{{Key: fmt.Sprintf("g%d", i%4), Value: i}}
+				},
+				func(key string, values []int) []string {
+					sum := 0
+					for _, v := range values {
+						sum += v
+					}
+					return []string{fmt.Sprintf("%s:%d:%d", key, len(values), sum)}
+				})
+		}
+		a, b := job(1), job(8)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReducePhaseSingleWorker(t *testing.T) {
+	groups := []Group[int]{{Key: "a", Values: []int{1, 2}}, {Key: "b", Values: []int{3}}}
+	got := ReducePhase(Config{Workers: 1}, groups, func(k string, vs []int) []int {
+		return []int{len(vs)}
+	})
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,52 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadNTriples asserts the parser never panics, and that anything it
+// accepts round-trips through the writer.
+func FuzzReadNTriples(f *testing.F) {
+	seeds := []string{
+		"<http://x/s> <http://x/p> \"v\" .",
+		"<http://x/s> <http://x/p> <http://x/o> .",
+		"_:b0 <http://x/p> \"v\"@en .",
+		"<http://x/s> <http://x/p> \"3\"^^<http://www.w3.org/2001/XMLSchema#integer> .",
+		"# comment\n\n<http://x/s> <http://x/p> \"esc\\\"aped\" .",
+		"malformed",
+		"<unterminated",
+		"\"just a literal\" .",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ts, err := ReadNTriples(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := WriteNTriples(writerOf(&buf), ts); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadNTriples(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-read of own output failed: %v\noutput: %q", err, buf.String())
+		}
+		if len(back) != len(ts) {
+			t.Fatalf("round trip changed count: %d -> %d", len(ts), len(back))
+		}
+		for i := range ts {
+			if back[i] != ts[i] {
+				t.Fatalf("round trip changed triple %d: %v -> %v", i, ts[i], back[i])
+			}
+		}
+	})
+}
+
+type sbWriter struct{ b *strings.Builder }
+
+func (w sbWriter) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+func writerOf(b *strings.Builder) sbWriter { return sbWriter{b} }

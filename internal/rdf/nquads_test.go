@@ -1,0 +1,79 @@
+package rdf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNQuadsRoundTrip(t *testing.T) {
+	stmts := []Statement{
+		S(T(IRI("http://x/s"), IRI("http://x/p"), Literal("v")),
+			Provenance{Source: "film-0.example.com", Extractor: "domx", Document: "/page-1"}, 0.84),
+		S(T(IRI("http://x/s2"), IRI("http://x/p"), Literal("with spaces & stuff")),
+			Provenance{Source: "query stream", Extractor: "qsx", Document: ""}, 0.5),
+		S(T(IRI("http://x/s3"), IRI("http://x/p"), TypedLiteral("7", XSDInteger)),
+			Provenance{Source: "a/b", Extractor: "kbx", Document: "d%e"}, 0.99),
+	}
+	var buf bytes.Buffer
+	if err := WriteNQuads(&buf, stmts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNQuads(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(stmts) {
+		t.Fatalf("count %d, want %d", len(back), len(stmts))
+	}
+	for i := range stmts {
+		if back[i].Triple != stmts[i].Triple {
+			t.Errorf("triple %d: %v != %v", i, back[i].Triple, stmts[i].Triple)
+		}
+		if back[i].Provenance != stmts[i].Provenance {
+			t.Errorf("provenance %d: %+v != %+v", i, back[i].Provenance, stmts[i].Provenance)
+		}
+		if math.Abs(back[i].Confidence-stmts[i].Confidence) > 1e-5 {
+			t.Errorf("confidence %d: %g != %g", i, back[i].Confidence, stmts[i].Confidence)
+		}
+	}
+}
+
+func TestProvenanceIRIRoundTrip(t *testing.T) {
+	cases := []Provenance{
+		{Source: "plain", Extractor: "domx", Document: "doc"},
+		{Source: "with space", Extractor: "a/b", Document: ""},
+		{Source: "pct%sign", Extractor: "x", Document: "a/b c"},
+	}
+	for _, p := range cases {
+		got, ok := parseProvenanceIRI(provenanceIRI(p))
+		if !ok || got != p {
+			t.Errorf("round trip %+v -> %+v, ok=%v", p, got, ok)
+		}
+	}
+	if _, ok := parseProvenanceIRI(IRI("http://other/graph")); ok {
+		t.Error("foreign IRI parsed as provenance")
+	}
+	if _, ok := parseProvenanceIRI(Literal("x")); ok {
+		t.Error("literal parsed as provenance")
+	}
+}
+
+func TestReadNQuadsErrors(t *testing.T) {
+	bad := []string{
+		`<http://x/s> <http://x/p> "v" .`,                               // missing graph
+		`<http://x/s> <http://x/p> "v" <http://other/g> .`,              // foreign graph
+		`<http://x/s> <http://x/p> "v" <http://akb.example.org/prov/a>`, // malformed graph + no dot
+	}
+	for _, in := range bad {
+		if _, err := ReadNQuads(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+	// Comments and blank lines are fine.
+	got, err := ReadNQuads(strings.NewReader("# header\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Errorf("comment handling: %v, %v", got, err)
+	}
+}

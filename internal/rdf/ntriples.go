@@ -1,0 +1,153 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteNTriples writes the triples in N-Triples syntax, one per line.
+func WriteNTriples(w io.Writer, ts []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range ts {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNTriples parses N-Triples input: one triple per line, '#' comments and
+// blank lines allowed. It supports the subset of the grammar produced by
+// WriteNTriples (IRIs, blank nodes, plain/typed/language-tagged literals).
+func ReadNTriples(r io.Reader) ([]Triple, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Triple
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseTripleLine(line string) (Triple, error) {
+	p := &ntParser{s: line}
+	subj, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	obj, err := p.term()
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipSpace()
+	if !strings.HasPrefix(p.rest(), ".") {
+		return Triple{}, fmt.Errorf("missing terminating '.' in %q", line)
+	}
+	return Triple{Subject: subj, Predicate: pred, Object: obj}, nil
+}
+
+type ntParser struct {
+	s string
+	i int
+}
+
+func (p *ntParser) rest() string { return p.s[p.i:] }
+
+func (p *ntParser) skipSpace() {
+	for p.i < len(p.s) && (p.s[p.i] == ' ' || p.s[p.i] == '\t') {
+		p.i++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	p.skipSpace()
+	if p.i >= len(p.s) {
+		return Term{}, fmt.Errorf("unexpected end of line")
+	}
+	switch p.s[p.i] {
+	case '<':
+		end := strings.IndexByte(p.s[p.i:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated IRI")
+		}
+		iri := p.s[p.i+1 : p.i+end]
+		p.i += end + 1
+		return IRI(iri), nil
+	case '_':
+		if !strings.HasPrefix(p.rest(), "_:") {
+			return Term{}, fmt.Errorf("malformed blank node")
+		}
+		p.i += 2
+		start := p.i
+		for p.i < len(p.s) && p.s[p.i] != ' ' && p.s[p.i] != '\t' {
+			p.i++
+		}
+		return Blank(p.s[start:p.i]), nil
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, fmt.Errorf("unexpected character %q", p.s[p.i])
+	}
+}
+
+func (p *ntParser) literal() (Term, error) {
+	// p.s[p.i] == '"'. Find the closing unescaped quote.
+	j := p.i + 1
+	for j < len(p.s) {
+		if p.s[j] == '\\' {
+			j += 2
+			continue
+		}
+		if p.s[j] == '"' {
+			break
+		}
+		j++
+	}
+	if j >= len(p.s) {
+		return Term{}, fmt.Errorf("unterminated literal")
+	}
+	lex := unescapeLiteral(p.s[p.i+1 : j])
+	p.i = j + 1
+	// Optional language tag or datatype.
+	if strings.HasPrefix(p.rest(), "@") {
+		p.i++
+		start := p.i
+		for p.i < len(p.s) && p.s[p.i] != ' ' && p.s[p.i] != '\t' {
+			p.i++
+		}
+		return LangLiteral(lex, p.s[start:p.i]), nil
+	}
+	if strings.HasPrefix(p.rest(), "^^<") {
+		p.i += 3
+		end := strings.IndexByte(p.s[p.i:], '>')
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated datatype IRI")
+		}
+		dt := p.s[p.i : p.i+end]
+		p.i += end + 1
+		return TypedLiteral(lex, dt), nil
+	}
+	return Literal(lex), nil
+}

@@ -1,0 +1,273 @@
+package rdf
+
+import (
+	"sort"
+	"sync"
+)
+
+// Store is an in-memory triple store with three permutation indexes
+// (SPO, POS, OSP) providing efficient lookups for every single- or
+// two-term-bound pattern. It is safe for concurrent use.
+//
+// The store deduplicates triples: adding the same triple twice is a no-op
+// for the second call. Statements (annotated triples) are kept separately by
+// AddStatement; the same triple may carry many statements with distinct
+// provenances.
+type Store struct {
+	mu sync.RWMutex
+
+	// spo/pos/osp map first term key -> second term key -> set of triples.
+	spo map[string]map[string][]Triple
+	pos map[string]map[string][]Triple
+	osp map[string]map[string][]Triple
+
+	// present deduplicates triples by Triple.Key.
+	present map[string]struct{}
+	size    int
+
+	// statements groups annotated statements by triple key.
+	statements map[string][]Statement
+	nstmts     int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		spo:        make(map[string]map[string][]Triple),
+		pos:        make(map[string]map[string][]Triple),
+		osp:        make(map[string]map[string][]Triple),
+		present:    make(map[string]struct{}),
+		statements: make(map[string][]Statement),
+	}
+}
+
+// Add inserts a triple. It reports whether the triple was newly added
+// (false means it was already present).
+func (st *Store) Add(t Triple) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.addLocked(t)
+}
+
+func (st *Store) addLocked(t Triple) bool {
+	k := t.Key()
+	if _, ok := st.present[k]; ok {
+		return false
+	}
+	st.present[k] = struct{}{}
+	st.size++
+	insert(st.spo, t.Subject.Key(), t.Predicate.Key(), t)
+	insert(st.pos, t.Predicate.Key(), t.Object.Key(), t)
+	insert(st.osp, t.Object.Key(), t.Subject.Key(), t)
+	return true
+}
+
+func insert(idx map[string]map[string][]Triple, k1, k2 string, t Triple) {
+	m, ok := idx[k1]
+	if !ok {
+		m = make(map[string][]Triple)
+		idx[k1] = m
+	}
+	m[k2] = append(m[k2], t)
+}
+
+// AddAll inserts every triple in ts and returns the number newly added.
+func (st *Store) AddAll(ts []Triple) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, t := range ts {
+		if st.addLocked(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// AddStatement inserts the statement's triple (deduplicated) and records the
+// annotated statement alongside it. Duplicate statements (same triple and
+// same provenance) are dropped.
+func (st *Store) AddStatement(s Statement) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.addLocked(s.Triple)
+	k := s.Triple.Key()
+	for _, prev := range st.statements[k] {
+		if prev.Provenance == s.Provenance {
+			return
+		}
+	}
+	st.statements[k] = append(st.statements[k], s)
+	st.nstmts++
+}
+
+// StatementsFor returns the annotated statements recorded for a triple.
+// The returned slice must not be modified.
+func (st *Store) StatementsFor(t Triple) []Statement {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.statements[t.Key()]
+}
+
+// Len returns the number of distinct triples in the store.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.size
+}
+
+// StatementCount returns the number of annotated statements in the store.
+func (st *Store) StatementCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.nstmts
+}
+
+// Contains reports whether the exact triple is present.
+func (st *Store) Contains(t Triple) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ok := st.present[t.Key()]
+	return ok
+}
+
+// Match returns all triples matching the pattern; zero-valued terms act as
+// wildcards. The result is a fresh slice in deterministic (sorted) order.
+func (st *Store) Match(s, p, o Term) []Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+
+	var out []Triple
+	sw, pw, ow := s.IsZero(), p.IsZero(), o.IsZero()
+	switch {
+	case !sw && !pw: // S P ?
+		for _, t := range st.spo[s.Key()][p.Key()] {
+			if ow || t.Object == o {
+				out = append(out, t)
+			}
+		}
+	case !sw: // S ? ?
+		for _, byP := range st.spo[s.Key()] {
+			for _, t := range byP {
+				if ow || t.Object == o {
+					out = append(out, t)
+				}
+			}
+		}
+	case !pw: // ? P ?
+		if !ow { // ? P O
+			out = append(out, st.pos[p.Key()][o.Key()]...)
+			break
+		}
+		for _, byO := range st.pos[p.Key()] {
+			out = append(out, byO...)
+		}
+	case !ow: // ? ? O
+		for _, byS := range st.osp[o.Key()] {
+			out = append(out, byS...)
+		}
+	default: // ? ? ?
+		for _, byP := range st.spo {
+			for _, ts := range byP {
+				out = append(out, ts...)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Subjects returns the distinct subjects of triples matching (?, p, o);
+// zero-valued terms act as wildcards.
+func (st *Store) Subjects(p, o Term) []Term {
+	ts := st.Match(Term{}, p, o)
+	return distinct(ts, func(t Triple) Term { return t.Subject })
+}
+
+// Objects returns the distinct objects of triples matching (s, p, ?);
+// zero-valued terms act as wildcards.
+func (st *Store) Objects(s, p Term) []Term {
+	ts := st.Match(s, p, Term{})
+	return distinct(ts, func(t Triple) Term { return t.Object })
+}
+
+// Predicates returns the distinct predicates of triples matching (s, ?, o);
+// zero-valued terms act as wildcards.
+func (st *Store) Predicates(s, o Term) []Term {
+	ts := st.Match(s, Term{}, o)
+	return distinct(ts, func(t Triple) Term { return t.Predicate })
+}
+
+func distinct(ts []Triple, pick func(Triple) Term) []Term {
+	seen := make(map[string]struct{}, len(ts))
+	var out []Term
+	for _, t := range ts {
+		term := pick(t)
+		k := term.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, term)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// All returns every triple in deterministic order.
+func (st *Store) All() []Triple { return st.Match(Term{}, Term{}, Term{}) }
+
+// AllStatements returns every annotated statement grouped arbitrarily by
+// triple but in deterministic overall order.
+func (st *Store) AllStatements() []Statement {
+	st.mu.RLock()
+	keys := make([]string, 0, len(st.statements))
+	for k := range st.statements {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Statement, 0, st.nstmts)
+	for _, k := range keys {
+		out = append(out, st.statements[k]...)
+	}
+	st.mu.RUnlock()
+	return out
+}
+
+// Remove deletes a triple and its statements. It reports whether the triple
+// was present.
+func (st *Store) Remove(t Triple) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	k := t.Key()
+	if _, ok := st.present[k]; !ok {
+		return false
+	}
+	delete(st.present, k)
+	st.size--
+	st.nstmts -= len(st.statements[k])
+	delete(st.statements, k)
+	removeFrom(st.spo, t.Subject.Key(), t.Predicate.Key(), t)
+	removeFrom(st.pos, t.Predicate.Key(), t.Object.Key(), t)
+	removeFrom(st.osp, t.Object.Key(), t.Subject.Key(), t)
+	return true
+}
+
+func removeFrom(idx map[string]map[string][]Triple, k1, k2 string, t Triple) {
+	m := idx[k1]
+	ts := m[k2]
+	for i, cand := range ts {
+		if cand == t {
+			ts = append(ts[:i], ts[i+1:]...)
+			break
+		}
+	}
+	if len(ts) == 0 {
+		delete(m, k2)
+		if len(m) == 0 {
+			delete(idx, k1)
+		}
+	} else {
+		m[k2] = ts
+	}
+}

@@ -1,0 +1,256 @@
+package rdf
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func tri(s, p, o string) Triple {
+	return T(AKB.IRI(s), AKB.IRI(p), Literal(o))
+}
+
+func TestStoreAddAndContains(t *testing.T) {
+	st := NewStore()
+	a := tri("s1", "p1", "o1")
+	if !st.Add(a) {
+		t.Fatal("first Add returned false")
+	}
+	if st.Add(a) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !st.Contains(a) {
+		t.Fatal("Contains false after Add")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", st.Len())
+	}
+}
+
+func TestStoreMatchPatterns(t *testing.T) {
+	st := NewStore()
+	triples := []Triple{
+		tri("s1", "p1", "o1"),
+		tri("s1", "p1", "o2"),
+		tri("s1", "p2", "o1"),
+		tri("s2", "p1", "o1"),
+		tri("s2", "p2", "o3"),
+	}
+	st.AddAll(triples)
+
+	s1 := AKB.IRI("s1")
+	p1 := AKB.IRI("p1")
+	o1 := Literal("o1")
+
+	tests := []struct {
+		name    string
+		s, p, o Term
+		want    int
+	}{
+		{"SPO exact hit", s1, p1, o1, 1},
+		{"SPO exact miss", s1, p1, Literal("nope"), 0},
+		{"SP?", s1, p1, Term{}, 2},
+		{"S??", s1, Term{}, Term{}, 3},
+		{"?P?", Term{}, p1, Term{}, 3},
+		{"?PO", Term{}, p1, o1, 2},
+		{"??O", Term{}, Term{}, o1, 3},
+		{"S?O", s1, Term{}, o1, 2},
+		{"???", Term{}, Term{}, Term{}, 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := st.Match(tc.s, tc.p, tc.o)
+			if len(got) != tc.want {
+				t.Errorf("Match returned %d triples, want %d: %v", len(got), tc.want, got)
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i-1].Compare(got[i]) >= 0 {
+					t.Errorf("Match result not sorted at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreDistinctAccessors(t *testing.T) {
+	st := NewStore()
+	st.AddAll([]Triple{
+		tri("s1", "p1", "o1"),
+		tri("s2", "p1", "o1"),
+		tri("s1", "p2", "o2"),
+	})
+	if got := st.Subjects(AKB.IRI("p1"), Literal("o1")); len(got) != 2 {
+		t.Errorf("Subjects = %v, want 2", got)
+	}
+	if got := st.Objects(AKB.IRI("s1"), Term{}); len(got) != 2 {
+		t.Errorf("Objects = %v, want 2", got)
+	}
+	if got := st.Predicates(AKB.IRI("s1"), Term{}); len(got) != 2 {
+		t.Errorf("Predicates = %v, want 2", got)
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	st := NewStore()
+	a := tri("s", "p", "o")
+	b := tri("s", "p", "o2")
+	st.Add(a)
+	st.Add(b)
+	st.AddStatement(S(a, Provenance{Source: "w", Extractor: "x"}, 0.9))
+
+	if !st.Remove(a) {
+		t.Fatal("Remove returned false for present triple")
+	}
+	if st.Remove(a) {
+		t.Fatal("Remove returned true for absent triple")
+	}
+	if st.Contains(a) {
+		t.Fatal("triple still present after Remove")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", st.Len())
+	}
+	if st.StatementCount() != 0 {
+		t.Fatalf("StatementCount = %d, want 0", st.StatementCount())
+	}
+	if got := st.Match(Term{}, AKB.IRI("p"), Term{}); len(got) != 1 {
+		t.Fatalf("index not cleaned: %v", got)
+	}
+}
+
+func TestStoreStatements(t *testing.T) {
+	st := NewStore()
+	a := tri("s", "p", "o")
+	p1 := Provenance{Source: "siteA", Extractor: "domx"}
+	p2 := Provenance{Source: "siteB", Extractor: "textx"}
+	st.AddStatement(S(a, p1, 0.8))
+	st.AddStatement(S(a, p2, 0.5))
+	st.AddStatement(S(a, p1, 0.9)) // same provenance: dropped
+
+	got := st.StatementsFor(a)
+	if len(got) != 2 {
+		t.Fatalf("StatementsFor = %d statements, want 2", len(got))
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (statements share one triple)", st.Len())
+	}
+	if st.StatementCount() != 2 {
+		t.Fatalf("StatementCount = %d, want 2", st.StatementCount())
+	}
+	all := st.AllStatements()
+	if len(all) != 2 {
+		t.Fatalf("AllStatements = %d, want 2", len(all))
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	st := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 200; i++ {
+				tr := tri("s", "p", string(rune('a'+r.Intn(26))))
+				st.Add(tr)
+				st.Contains(tr)
+				st.Match(Term{}, AKB.IRI("p"), Term{})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Len() > 26 {
+		t.Fatalf("Len = %d, want <= 26 (dedup under concurrency)", st.Len())
+	}
+}
+
+// Property: after adding any set of triples, Len equals the number of
+// distinct triples, and every added triple is found by every pattern that
+// matches it.
+func TestStoreInvariantsProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		st := NewStore()
+		distinctKeys := map[string]struct{}{}
+		var added []Triple
+		for i := 0; i < int(n%40)+1; i++ {
+			tr := T(
+				AKB.IRI(string(rune('a'+r.Intn(4)))),
+				AKB.IRI(string(rune('p'+r.Intn(3)))),
+				Literal(string(rune('x'+r.Intn(3)))),
+			)
+			st.Add(tr)
+			distinctKeys[tr.Key()] = struct{}{}
+			added = append(added, tr)
+		}
+		if st.Len() != len(distinctKeys) {
+			return false
+		}
+		for _, tr := range added {
+			if !st.Contains(tr) {
+				return false
+			}
+			found := false
+			for _, got := range st.Match(tr.Subject, Term{}, Term{}) {
+				if got == tr {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatementValid(t *testing.T) {
+	good := S(tri("s", "p", "o"), Provenance{Source: "w", Extractor: "x"}, 0.5)
+	if err := good.Valid(); err != nil {
+		t.Errorf("valid statement rejected: %v", err)
+	}
+	bad := []Statement{
+		S(T(Literal("s"), AKB.IRI("p"), Literal("o")), Provenance{}, 0.5),
+		S(T(AKB.IRI("s"), Literal("p"), Literal("o")), Provenance{}, 0.5),
+		S(tri("s", "p", "o"), Provenance{}, 1.5),
+		S(tri("s", "p", "o"), Provenance{}, -0.1),
+		S(T(IRI(""), AKB.IRI("p"), Literal("o")), Provenance{}, 0.5),
+	}
+	for i, s := range bad {
+		if err := s.Valid(); err == nil {
+			t.Errorf("bad statement %d accepted", i)
+		}
+	}
+}
+
+func TestProvenanceKeys(t *testing.T) {
+	p := Provenance{Source: "imdb.example", Extractor: "domx", Document: "page7"}
+	if p.Key() == p.SourceExtractorKey() {
+		t.Error("Key and SourceExtractorKey must differ when Document set")
+	}
+	q := p
+	q.Document = ""
+	if q.SourceExtractorKey() != p.SourceExtractorKey() {
+		t.Error("SourceExtractorKey must ignore Document")
+	}
+	if p.String() == "" || q.String() == "" {
+		t.Error("String must be non-empty")
+	}
+}
+
+func TestTripleItemKey(t *testing.T) {
+	a := tri("s", "p", "o1")
+	b := tri("s", "p", "o2")
+	c := tri("s", "q", "o1")
+	if a.ItemKey() != b.ItemKey() {
+		t.Error("same (s,p) must share ItemKey")
+	}
+	if a.ItemKey() == c.ItemKey() {
+		t.Error("different predicates must not share ItemKey")
+	}
+}

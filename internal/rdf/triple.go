@@ -1,0 +1,170 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Triple is a bare RDF triple: subject, predicate, object.
+type Triple struct {
+	Subject   Term
+	Predicate Term
+	Object    Term
+}
+
+// T is a convenience constructor for a Triple.
+func T(s, p, o Term) Triple { return Triple{Subject: s, Predicate: p, Object: o} }
+
+// String renders the triple in N-Triples syntax (without trailing newline).
+func (t Triple) String() string {
+	return t.Subject.String() + " " + t.Predicate.String() + " " + t.Object.String() + " ."
+}
+
+// Key returns a unique key for the triple for use in maps.
+func (t Triple) Key() string {
+	return t.Subject.Key() + "|" + t.Predicate.Key() + "|" + t.Object.Key()
+}
+
+// ItemKey returns the data-item key (subject, predicate) of the triple. A
+// "data item" in the fusion literature is the pair an extraction claims a
+// value for, e.g. (Barack Obama, profession).
+func (t Triple) ItemKey() string {
+	return t.Subject.Key() + "|" + t.Predicate.Key()
+}
+
+// Compare orders triples lexicographically by subject, predicate, object.
+func (t Triple) Compare(o Triple) int {
+	if c := t.Subject.Compare(o.Subject); c != 0 {
+		return c
+	}
+	if c := t.Predicate.Compare(o.Predicate); c != 0 {
+		return c
+	}
+	return t.Object.Compare(o.Object)
+}
+
+// Provenance records where a statement came from: the original Web source
+// (site or corpus) and the extractor that produced it. The knowledge-fusion
+// phase reasons over (source, extractor) pairs with finer granularity than
+// classical data fusion, following Dong et al. (VLDB'14).
+type Provenance struct {
+	// Source identifies the original data source, e.g. a website host,
+	// "querystream", "freebase", or "dbpedia".
+	Source string
+	// Extractor names the extraction system, e.g. "domx", "textx", "qsx",
+	// "kbx".
+	Extractor string
+	// Document optionally identifies the page or record within the source.
+	Document string
+}
+
+// Key returns a unique key for the provenance.
+func (p Provenance) Key() string {
+	return p.Source + "\x00" + p.Extractor + "\x00" + p.Document
+}
+
+// SourceExtractorKey returns the coarser (source, extractor) key used by the
+// fusion methods when per-document granularity is too sparse.
+func (p Provenance) SourceExtractorKey() string {
+	return p.Source + "\x00" + p.Extractor
+}
+
+// String renders the provenance compactly for logs.
+func (p Provenance) String() string {
+	if p.Document == "" {
+		return p.Extractor + "@" + p.Source
+	}
+	return p.Extractor + "@" + p.Source + "/" + p.Document
+}
+
+// Statement is a triple annotated with provenance and an extractor-assigned
+// confidence score in [0, 1]. Statements are what extractors emit and what
+// knowledge fusion fuses; the confidence score implements the paper's
+// "unified criterion" for extraction uncertainty.
+type Statement struct {
+	Triple
+	Provenance Provenance
+	// Confidence is the extractor's belief that the triple is true, in
+	// [0, 1]. A value of 0 means "unscored"; extractors always assign a
+	// strictly positive score.
+	Confidence float64
+}
+
+// S constructs a Statement.
+func S(t Triple, prov Provenance, conf float64) Statement {
+	return Statement{Triple: t, Provenance: prov, Confidence: conf}
+}
+
+// String renders the statement with its annotations as a comment.
+func (s Statement) String() string {
+	return fmt.Sprintf("%s # conf=%.3f prov=%s", s.Triple.String(), s.Confidence, s.Provenance)
+}
+
+// Valid reports whether the statement is structurally well formed: subject
+// and predicate are IRIs or blanks (predicate must be an IRI), the object is
+// any term, and the confidence is within [0, 1].
+func (s Statement) Valid() error {
+	if s.Subject.IsLiteral() {
+		return fmt.Errorf("rdf: subject must not be a literal: %s", s.Subject)
+	}
+	if !s.Predicate.IsIRI() {
+		return fmt.Errorf("rdf: predicate must be an IRI: %s", s.Predicate)
+	}
+	if s.Subject.Value == "" || s.Predicate.Value == "" {
+		return fmt.Errorf("rdf: empty subject or predicate in %s", s.Triple)
+	}
+	if s.Confidence < 0 || s.Confidence > 1 {
+		return fmt.Errorf("rdf: confidence %g out of [0,1]", s.Confidence)
+	}
+	return nil
+}
+
+// Namespace helps build IRIs under a common prefix.
+type Namespace string
+
+// Common namespaces used by the pipeline.
+const (
+	// AKB is the namespace for resources minted by this system.
+	AKB Namespace = "http://akb.example.org/"
+	// RDFNS is the RDF namespace.
+	RDFNS Namespace = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	// RDFSNS is the RDF Schema namespace.
+	RDFSNS Namespace = "http://www.w3.org/2000/01/rdf-schema#"
+)
+
+// IRI mints an IRI term in the namespace. The local name is percent-free and
+// is expected to already be IRI-safe; spaces are replaced with underscores as
+// is conventional for DBpedia-style resource names.
+func (ns Namespace) IRI(local string) Term {
+	if strings.ContainsRune(local, ' ') {
+		local = strings.ReplaceAll(local, " ", "_")
+	}
+	return IRI(string(ns) + local)
+}
+
+// Standard predicates.
+var (
+	// RDFType is rdf:type.
+	RDFType = IRI(string(RDFNS) + "type")
+	// RDFSLabel is rdfs:label.
+	RDFSLabel = IRI(string(RDFSNS) + "label")
+	// RDFSSubClassOf is rdfs:subClassOf.
+	RDFSSubClassOf = IRI(string(RDFSNS) + "subClassOf")
+)
+
+// LocalName extracts the final path or fragment segment of an IRI term,
+// e.g. "Barack_Obama" from "http://akb.example.org/Barack_Obama". For
+// non-IRI terms it returns the term value unchanged.
+func LocalName(t Term) string {
+	if !t.IsIRI() {
+		return t.Value
+	}
+	v := t.Value
+	if i := strings.LastIndexByte(v, '#'); i >= 0 {
+		return v[i+1:]
+	}
+	if i := strings.LastIndexByte(v, '/'); i >= 0 {
+		return v[i+1:]
+	}
+	return v
+}
