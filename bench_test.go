@@ -6,6 +6,7 @@
 package akb_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -15,6 +16,7 @@ import (
 	"akb/internal/experiments"
 	"akb/internal/fusion"
 	"akb/internal/rdf"
+	"akb/internal/resilience"
 )
 
 // BenchmarkTable1KBStats regenerates Table 1 (E1): materialising the four
@@ -221,6 +223,68 @@ func BenchmarkScalability(b *testing.B) {
 		rows := experiments.Scalability(int64(i + 1))
 		if len(rows) != 4 {
 			b.Fatal("bad scale rows")
+		}
+	}
+}
+
+// BenchmarkSupervisorOverhead measures the per-stage cost of the
+// resilience harness itself: a no-op stage run under the supervisor with
+// retries, fault lookup and health accounting enabled (faults never fire).
+func BenchmarkSupervisorOverhead(b *testing.B) {
+	sup := &resilience.Supervisor{
+		Seed:   1,
+		Faults: &resilience.FaultPlan{Seed: 1, Stages: map[string]resilience.StageFault{"other": {FailProb: 1}}},
+	}
+	st := resilience.Stage{
+		Name:  "noop",
+		Retry: resilience.DefaultRetry(),
+		Run:   func(context.Context) error { return nil },
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rep := sup.Run(ctx, st); rep.Health != resilience.OK {
+			b.Fatal("noop stage failed")
+		}
+	}
+}
+
+// BenchmarkSupervisedPipeline runs the full pipeline through RunContext —
+// the supervised path — so its cost can be compared against
+// BenchmarkFigure1Pipeline (the same work via the legacy wrapper).
+func BenchmarkSupervisedPipeline(b *testing.B) {
+	cfg := core.DefaultConfig()
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunContext(ctx, cfg)
+		if err != nil || res.Augmented.Len() == 0 {
+			b.Fatalf("pipeline failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkChaosDegradedPipeline measures the degraded path: every
+// optional stage fails permanently at 100%, so the run is the mandatory
+// spine (substrates, KB extraction, fusion, augmentation) plus
+// supervision and degradation bookkeeping.
+func BenchmarkChaosDegradedPipeline(b *testing.B) {
+	cfg := core.DefaultConfig()
+	plan := &resilience.FaultPlan{Seed: 1, Stages: map[string]resilience.StageFault{}}
+	for _, st := range core.OptionalStageNames() {
+		plan.Stages[st] = resilience.StageFault{FailProb: 1}
+	}
+	cfg.Faults = plan
+	cfg.Retry = resilience.RetryPolicy{MaxAttempts: 1}
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunContext(ctx, cfg)
+		if err != nil {
+			b.Fatalf("degraded run failed hard: %v", err)
+		}
+		if len(res.Health.Degraded()) == 0 {
+			b.Fatal("no degradation under full optional-stage faults")
 		}
 	}
 }

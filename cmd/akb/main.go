@@ -13,7 +13,8 @@
 //	table1     Table 1 — statistics of representative KBs
 //	table2     Table 2 — attribute extraction from existing KBs
 //	table3     Table 3 — query-stream extraction (flag: -scale)
-//	pipeline   Figure 1 — the full extraction+fusion pipeline
+//	pipeline   Figure 1 — the full extraction+fusion pipeline (flag: -faults)
+//	chaos      fault-injection sweep over the resilience supervisor
 //	domsweep   Algorithm 1 behaviour sweep (sites, seeds, threshold)
 //	fusion     fusion-method comparison on pipeline and copier workloads
 //	ablation   design-choice ablations (hierarchy, correlation, confidence)
@@ -47,6 +48,7 @@ func commands() []command {
 		{"temporal", "temporal extraction and timeline fusion", cmdTemporal},
 		{"granularity", "provenance granularity comparison", cmdGranularity},
 		{"scale", "pipeline cost vs world size", cmdScale},
+		{"chaos", "fault-injection sweep: degradation vs failure rate", cmdChaos},
 		{"show", "print fused knowledge about one entity", cmdShow},
 		{"export", "export the augmented KB as N-Triples", cmdExport},
 		{"all", "run every experiment", cmdAll},

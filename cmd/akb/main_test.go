@@ -35,7 +35,7 @@ func TestCommandRegistry(t *testing.T) {
 		}
 		seen[c.name] = true
 	}
-	for _, want := range []string{"table1", "table2", "table3", "pipeline", "fusion", "ablation", "export", "all"} {
+	for _, want := range []string{"table1", "table2", "table3", "pipeline", "fusion", "ablation", "export", "chaos", "all"} {
 		if !seen[want] {
 			t.Errorf("command %q missing", want)
 		}
@@ -62,5 +62,34 @@ func TestExportWritesNTriples(t *testing.T) {
 func TestFlagErrors(t *testing.T) {
 	if err := cmdTable1([]string{"-bogus"}); err == nil {
 		t.Error("bogus flag accepted")
+	}
+	if err := cmdPipeline([]string{"-faults", "not-a-plan"}); err == nil {
+		t.Error("malformed fault plan accepted")
+	}
+	if err := cmdChaos([]string{"-rates", "1.5"}); err == nil {
+		t.Error("out-of-range chaos rate accepted")
+	}
+	if err := cmdChaos([]string{"-stages", " , "}); err == nil {
+		t.Error("empty chaos stage list accepted")
+	}
+}
+
+func TestChaosSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run in -short")
+	}
+	// A single full-degradation point: every optional stage fails, the
+	// sweep must still complete and render its table.
+	if err := cmdChaos([]string{"-rates", "1", "-stages", "optional"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineWithFaultsRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run in -short")
+	}
+	if err := cmdPipeline([]string{"-faults", "extract/textx=1"}); err != nil {
+		t.Fatal(err)
 	}
 }

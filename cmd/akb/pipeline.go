@@ -1,13 +1,17 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"akb/internal/core"
 	"akb/internal/eval"
 	"akb/internal/experiments"
 	"akb/internal/rdf"
+	"akb/internal/resilience"
 )
 
 func pipelineConfig(seed int64) core.Config {
@@ -17,12 +21,33 @@ func pipelineConfig(seed int64) core.Config {
 	return cfg
 }
 
+// faultFlags registers the shared fault-injection flags and returns a
+// builder that assembles the plan after parsing.
+func faultFlags(fs *flag.FlagSet) func() (*resilience.FaultPlan, error) {
+	spec := fs.String("faults", "", "fault plan: 'stage=prob' entries, e.g. 'extract/textx=1,discover=0.5' or 'all=0.3'")
+	fseed := fs.Int64("fault-seed", 1, "seed for deterministic fault decisions")
+	transient := fs.Bool("fault-transient", false, "injected faults are transient (retries may recover)")
+	latency := fs.Duration("fault-latency", 0, "latency injected before each faulted stage attempt")
+	return func() (*resilience.FaultPlan, error) {
+		if *spec == "" {
+			return nil, nil
+		}
+		plan, err := resilience.ParseFaultPlan(*spec, *fseed)
+		if err != nil {
+			return nil, err
+		}
+		plan.SetTransient(*transient).SetLatency(*latency)
+		return plan, nil
+	}
+}
+
 func cmdPipeline(args []string) error {
 	fs, seed := newFlagSet("pipeline")
 	alignOn := fs.Bool("align", false, "enable pre-fusion normalisation (synonyms, misspellings, sub-attributes)")
 	discover := fs.Bool("discover", false, "enable joint entity linking and discovery")
 	temporal := fs.Bool("temporal", false, "enable temporal extraction and timeline fusion")
 	lists := fs.Bool("lists", false, "enable multi-record list-page extraction")
+	buildFaults := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -31,7 +56,15 @@ func cmdPipeline(args []string) error {
 	cfg.DiscoverEntities = *discover
 	cfg.Temporal = *temporal
 	cfg.ListPages = *lists
-	rep := experiments.Pipeline(cfg)
+	plan, err := buildFaults()
+	if err != nil {
+		return err
+	}
+	cfg.Faults = plan
+	rep, err := experiments.PipelineContext(context.Background(), cfg)
+	if err != nil {
+		return fmt.Errorf("pipeline aborted: %w", err)
+	}
 
 	fmt.Println("Figure 1: knowledge extraction -> knowledge fusion -> KB augmentation")
 	stageRows := make([][]string, 0, len(rep.Stages))
@@ -40,9 +73,18 @@ func cmdPipeline(args []string) error {
 		if st.Precision >= 0 {
 			prec = fmt.Sprintf("%.3f", st.Precision)
 		}
-		stageRows = append(stageRows, []string{st.Stage, st.Detail, fmt.Sprintf("%d", st.Statements), prec})
+		stageRows = append(stageRows, []string{
+			st.Stage, st.Detail, fmt.Sprintf("%d", st.Statements), prec, st.Health.String(),
+		})
 	}
-	fmt.Print(eval.FormatTable([]string{"Stage", "Detail", "Statements", "Precision"}, stageRows))
+	fmt.Print(eval.FormatTable([]string{"Stage", "Detail", "Statements", "Precision", "Health"}, stageRows))
+
+	if plan != nil || !rep.Health.Healthy() {
+		fmt.Printf("\nHealth: %s\n", rep.Health)
+		if plan != nil {
+			fmt.Printf("Fault plan: %s\n", plan)
+		}
+	}
 
 	fmt.Println("\nAttribute-set growth per class (ontology augmentation):")
 	growthRows := make([][]string, 0, len(rep.Growth))
@@ -92,4 +134,12 @@ func cmdExport(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "exported %d triples\n", res.Augmented.Len())
 	return nil
+}
+
+// degradedSummary compresses a degraded-stage list for table cells.
+func degradedSummary(stages []string) string {
+	if len(stages) == 0 {
+		return "-"
+	}
+	return strings.Join(stages, " ")
 }

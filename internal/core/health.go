@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"akb/internal/resilience"
+)
+
+// StageHealth is one supervised stage's outcome in the run's health
+// report.
+type StageHealth struct {
+	// Stage is the supervised stage name (a Stage* constant).
+	Stage string
+	// Health is the supervisor's verdict for the stage.
+	Health resilience.Health
+	// Attempts is how many attempts the stage consumed.
+	Attempts int
+	// Optional records whether the stage was allowed to fail soft.
+	Optional bool
+	// Err is the final error message for degraded or failed stages.
+	Err string
+}
+
+// HealthReport aggregates supervised outcomes across the run, including
+// stages (substrates, seeds) that emit no statement statistics.
+type HealthReport struct {
+	// Stages lists every supervised stage in execution order.
+	Stages []StageHealth
+}
+
+// Stage returns the health entry for a stage name.
+func (h HealthReport) Stage(name string) (StageHealth, bool) {
+	for _, s := range h.Stages {
+		if s.Stage == name {
+			return s, true
+		}
+	}
+	return StageHealth{}, false
+}
+
+// Degraded returns the names of stages that failed soft, in execution
+// order.
+func (h HealthReport) Degraded() []string {
+	var out []string
+	for _, s := range h.Stages {
+		if s.Health == resilience.Degraded {
+			out = append(out, s.Stage)
+		}
+	}
+	return out
+}
+
+// Healthy reports whether every supervised stage completed cleanly.
+func (h HealthReport) Healthy() bool {
+	for _, s := range h.Stages {
+		if s.Health != resilience.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a one-line summary ("11 stages, degraded: extract/textx,
+// discover").
+func (h HealthReport) String() string {
+	deg := h.Degraded()
+	if len(deg) == 0 {
+		return fmt.Sprintf("%d stages, all healthy", len(h.Stages))
+	}
+	return fmt.Sprintf("%d stages, degraded: %s", len(h.Stages), strings.Join(deg, ", "))
+}

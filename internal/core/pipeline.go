@@ -5,12 +5,22 @@
 // hierarchical value spaces, source/extractor correlations and confidence
 // weighting), finishing with KB augmentation — attaching the fused triples
 // to the Freebase stand-in.
+//
+// The pipeline runs as named stages under an internal/resilience
+// supervisor: optional stages (query-stream, DOM, list, text, temporal
+// extraction, entity discovery, alignment) fail soft and leave the run
+// degraded but complete, while mandatory stages (substrates, KB
+// extraction, fusion, augmentation) fail hard with a wrapped *StageError.
+// Run is the legacy fault-free entry point; RunContext adds cancellation,
+// per-stage deadlines, retries and deterministic fault injection.
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"akb/internal/align"
 	"akb/internal/confidence"
@@ -25,9 +35,38 @@ import (
 	"akb/internal/kb"
 	"akb/internal/querystream"
 	"akb/internal/rdf"
+	"akb/internal/resilience"
 	"akb/internal/temporalx"
 	"akb/internal/webgen"
 )
+
+// Supervised stage names, usable as resilience.FaultPlan keys.
+const (
+	StageSubstrates = "substrates"
+	StageKBX        = "extract/kbx"
+	StageQSX        = "extract/qsx"
+	StageDOMX       = "extract/domx"
+	StageLists      = "extract/lists"
+	StageTextX      = "extract/textx"
+	StageTemporal   = "extract/temporal"
+	StageDiscover   = "discover"
+	StageAlign      = "align"
+	StageFusion     = "fusion"
+	StageAugment    = "augment"
+)
+
+// MandatoryStageNames lists the stages that fail the whole run: without
+// substrates, KB statements, fusion or augmentation there is no result.
+func MandatoryStageNames() []string {
+	return []string{StageSubstrates, StageKBX, StageFusion, StageAugment}
+}
+
+// OptionalStageNames lists the stages that fail soft: the pipeline
+// degrades gracefully and fuses whatever the surviving extractors
+// produced. Includes stages that only run under their config switches.
+func OptionalStageNames() []string {
+	return []string{StageQSX, StageDOMX, StageLists, StageTextX, StageTemporal, StageDiscover, StageAlign}
+}
 
 // Config parameterises a full pipeline run. The zero value is not usable;
 // start from DefaultConfig.
@@ -74,6 +113,20 @@ type Config struct {
 	// time-scoped sentences about temporal attributes and temporalx fuses
 	// the extracted spans into timelines.
 	Temporal bool
+
+	// Faults optionally injects deterministic failures and latency through
+	// the resilience harness; nil runs fault-free. Keys are the Stage*
+	// constants.
+	Faults *resilience.FaultPlan
+	// Retry overrides the backoff policy for retryable stages; the zero
+	// value uses resilience.DefaultRetry().
+	Retry resilience.RetryPolicy
+	// StageTimeout bounds each supervised stage attempt; 0 disables
+	// per-stage deadlines.
+	StageTimeout time.Duration
+	// StageHook, when set, observes every supervised stage start. Used for
+	// logging and by tests to cancel mid-pipeline.
+	StageHook func(stage string)
 }
 
 // DefaultConfig returns a moderate-scale configuration that runs in a few
@@ -117,6 +170,13 @@ type StageStat struct {
 	// Precision is the stage's statement precision against ground truth
 	// (-1 when not applicable).
 	Precision float64
+	// Health is the supervised outcome (OK, or Degraded when the stage
+	// failed soft and the pipeline continued without it).
+	Health resilience.Health
+	// Err is the failure message for degraded stages, "" otherwise.
+	Err string
+	// Attempts is how many supervised attempts the stage consumed.
+	Attempts int
 }
 
 // Result is the full pipeline output.
@@ -140,6 +200,10 @@ type Result struct {
 	Augmented *rdf.Store
 	// Stages reports per-stage statistics in execution order.
 	Stages []StageStat
+	// Health reports every supervised stage's outcome, including stages
+	// that emit no statement statistics; degraded optional stages appear
+	// here with their error and attempt count.
+	Health HealthReport
 	// AlignReport summarises pre-fusion normalisation when Config.Align is
 	// set; nil otherwise.
 	AlignReport *align.Report
@@ -154,149 +218,385 @@ type Result struct {
 	Timelines []temporalx.Timeline
 }
 
-// Run executes the full Figure-1 pipeline.
+// Run executes the full Figure-1 pipeline. It is the legacy fault-free
+// entry point: without injected faults every stage is deterministic and
+// cannot fail, so Run panics on a supervisor error instead of returning
+// it. Use RunContext for cancellation, deadlines and chaos runs.
 func Run(cfg Config) *Result {
-	crit := confidence.Default()
-	res := &Result{SeedSets: make(map[string]extract.AttrSet)}
+	res, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core.Run: %v", err))
+	}
+	return res
+}
 
-	// The real world and the data sources derived from it.
+// RunContext executes the pipeline as supervised stages. It returns a nil
+// Result and a wrapped *resilience.StageError when a mandatory stage fails
+// or the context is cancelled; optional-stage failures degrade the run
+// (recorded in Result.Health and the stage's StageStat) but do not error.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Temporal && cfg.Corpus.TemporalFacts == 0 {
 		cfg.Corpus.TemporalFacts = 6
 	}
-	res.World = kb.NewWorld(cfg.World)
-	dbp := kb.GenerateDBpedia(res.World, cfg.DBpedia)
-	fb := kb.GenerateFreebase(res.World, cfg.Freebase)
-	stream := querystream.Generate(res.World, cfg.Stream)
-	sites := webgen.GenerateSites(res.World, cfg.Sites)
-	corpus := webgen.GenerateCorpus(res.World, cfg.Corpus)
-	scorer := &eval.Scorer{World: res.World}
+	p := &pipelineRun{
+		cfg:  cfg,
+		crit: confidence.Default(),
+		res:  &Result{SeedSets: make(map[string]extract.AttrSet)},
+		sup: &resilience.Supervisor{
+			Seed:    cfg.Seed,
+			Faults:  cfg.Faults,
+			OnStage: cfg.StageHook,
+		},
+	}
 
 	// --- Knowledge extraction phase -----------------------------------
-
-	// 1. Existing KBs.
-	res.KBX = kbx.ExtractAttributes(crit, dbp, fb)
-	kbStmts := append(kbx.ExtractStatements(crit, dbp), kbx.ExtractStatements(crit, fb)...)
-	res.addStage(scorer, "extract/kbx", fmt.Sprintf("%d classes combined", len(res.KBX.PerClass)), kbStmts)
-
-	// 2. Query stream. Entity recognition uses Freebase's covered entities,
-	// as in the paper ("each class is specified as a set of representative
-	// entities of Freebase").
-	entIdx := extract.NewEntityIndex(fb)
-	res.QSX = qsx.Extract(stream, entIdx, cfg.QSX, crit)
-	res.addStage(scorer, "extract/qsx", fmt.Sprintf("%d records scanned", stream.Len()), nil)
-
-	// 3. Seed sets: combined KB attributes ∪ credible query-stream
-	// attributes, per class.
-	for _, class := range res.World.Ontology.ClassNames() {
-		seeds := res.KBX.SeedSet(class).Clone()
-		if cr, ok := res.QSX.PerClass[class]; ok {
-			seeds.Union(cr.Credible)
-		}
-		res.SeedSets[class] = seeds
+	if err := p.runStage(ctx, StageSubstrates, mandatory, p.substrates); err != nil {
+		return nil, err
 	}
-
-	// 4. DOM trees, seeded.
-	if cfg.DiscoverEntities {
-		cfg.DOM.DiscoverEntities = true
-		cfg.Text.DiscoverEntities = true
+	if err := p.runStage(ctx, StageKBX, mandatory, p.extractKB); err != nil {
+		return nil, err
 	}
-	res.DOMX = domx.Extract(domx.FromWebgen(sites), entIdx, res.SeedSets, cfg.DOM, crit)
-	res.addStage(scorer, "extract/domx",
-		fmt.Sprintf("%d sites, %d discovered attrs", len(sites), totalDiscoveredDOM(res.DOMX)), res.DOMX.Statements)
-
-	// 4b. Multi-record list pages (optional).
-	var listRes *domx.ListResult
+	if err := p.runStage(ctx, StageQSX, optional, p.extractQS); err != nil {
+		return nil, err
+	}
+	p.buildSeeds()
+	if err := p.runStage(ctx, StageDOMX, optional, p.extractDOM); err != nil {
+		return nil, err
+	}
 	if cfg.ListPages {
-		lcfg := cfg.ListCfg
-		if lcfg == (webgen.ListConfig{}) {
-			lcfg = webgen.DefaultListConfig()
+		if err := p.runStage(ctx, StageLists, optional, p.extractLists); err != nil {
+			return nil, err
 		}
-		lists := webgen.GenerateListPages(res.World, cfg.Sites.SitesPerClass, lcfg)
-		classOf := hostClassResolver(res.World)
-		listRes = domx.ExtractLists(domx.ListsFromWebgen(lists, classOf), entIdx, domx.ListConfig{}, crit)
-		res.Lists = listRes
-		res.addStage(scorer, "extract/lists",
-			fmt.Sprintf("%d regions, %d records", listRes.Regions, listRes.Records), listRes.Statements)
 	}
-
-	// 5. Web texts, seeded.
-	res.TextX = textx.Extract(corpus, entIdx, res.SeedSets, cfg.Text, crit)
-	res.addStage(scorer, "extract/textx",
-		fmt.Sprintf("%d docs, %d patterns", len(corpus), len(res.TextX.Patterns)), res.TextX.Statements)
-
-	// Union of all statements.
-	res.Statements = append(res.Statements, kbStmts...)
-	res.Statements = append(res.Statements, res.DOMX.Statements...)
-	if listRes != nil {
-		res.Statements = append(res.Statements, listRes.Statements...)
+	if err := p.runStage(ctx, StageTextX, optional, p.extractText); err != nil {
+		return nil, err
 	}
-	res.Statements = append(res.Statements, res.TextX.Statements...)
-
-	// Optional temporal knowledge extraction and timeline fusion.
+	p.unionStatements()
 	if cfg.Temporal {
-		tStmts := temporalx.ExtractText(corpus, entIdx)
-		res.Timelines = temporalx.FuseTimelines(tStmts)
-		correct, total := temporalx.Accuracy(res.World, res.Timelines)
-		prec := -1.0
-		if total > 0 {
-			prec = float64(correct) / float64(total)
+		if err := p.runStage(ctx, StageTemporal, optional, p.extractTemporal); err != nil {
+			return nil, err
 		}
-		res.Stages = append(res.Stages, StageStat{
-			Stage:      "extract/temporal",
-			Detail:     fmt.Sprintf("%d statements, %d timelines", len(tStmts), len(res.Timelines)),
-			Statements: len(tStmts),
-			Precision:  prec,
-		})
 	}
-
-	// Optional joint entity linking and discovery over the unknown-entity
-	// facts the open-Web extractors harvested.
 	if cfg.DiscoverEntities {
-		facts := append(append([]extract.EntityFact(nil), res.DOMX.NewEntityFacts...), res.TextX.NewEntityFacts...)
-		res.Discovered = entitydisc.Discover(facts, entIdx, cfg.DiscoverCfg)
-		discStmts := res.Discovered.Statements(crit.Score(extract.ExtractorDOM, 2, 2))
-		res.Statements = append(res.Statements, discStmts...)
-		res.addStage(scorer, "discover",
-			fmt.Sprintf("%d new entities, %d mentions linked, %d rejected",
-				len(res.Discovered.Entities), len(res.Discovered.Linked), res.Discovered.Rejected),
-			discStmts)
+		if err := p.runStage(ctx, StageDiscover, optional, p.discoverEntities); err != nil {
+			return nil, err
+		}
 	}
 
 	// --- Knowledge fusion phase ----------------------------------------
-
 	if cfg.Align {
-		acfg := cfg.AlignCfg
-		if acfg == (align.Config{}) {
-			acfg = align.DefaultConfig()
+		if err := p.runStage(ctx, StageAlign, optional, p.alignStatements); err != nil {
+			return nil, err
 		}
-		var rep align.Report
-		res.Statements, rep = align.Normalize(res.Statements, acfg)
-		res.AlignReport = &rep
-		res.Stages = append(res.Stages, StageStat{
-			Stage: "align",
-			Detail: fmt.Sprintf("%d synonyms merged, %d values corrected, %d sub-attrs",
-				len(rep.Synonyms), rep.CorrectedValues, len(rep.SubAttributes)),
-			Statements: len(res.Statements),
-			Precision:  scorer.ScoreStatements(res.Statements).Precision(),
-		})
+	}
+	if err := p.runStage(ctx, StageFusion, mandatory, p.fuse); err != nil {
+		return nil, err
 	}
 
-	method := cfg.Method
+	// --- KB augmentation ------------------------------------------------
+	if err := p.runStage(ctx, StageAugment, mandatory, p.augment); err != nil {
+		return nil, err
+	}
+	return p.res, nil
+}
+
+const (
+	mandatory = false
+	optional  = true
+)
+
+// pipelineRun carries the intermediates threaded between stages.
+type pipelineRun struct {
+	cfg    Config
+	crit   *confidence.Criterion
+	res    *Result
+	sup    *resilience.Supervisor
+	scorer *eval.Scorer
+
+	dbp, fb *kb.SourceKB
+	stream  *querystream.Stream
+	sites   []*webgen.Site
+	corpus  []*webgen.Document
+	entIdx  *extract.EntityIndex
+	kbStmts []rdf.Statement
+	listRes *domx.ListResult
+}
+
+// runStage supervises one stage body. Mandatory-stage failures and context
+// cancellation return the stage error; optional-stage failures record a
+// degraded StageStat plus health entry and return nil.
+func (p *pipelineRun) runStage(ctx context.Context, name string, soft bool, body func(context.Context) error) error {
+	retry := p.cfg.Retry
+	if retry == (resilience.RetryPolicy{}) {
+		retry = resilience.DefaultRetry()
+	}
+	before := len(p.res.Stages)
+	rep := p.sup.Run(ctx, resilience.Stage{
+		Name:     name,
+		Optional: soft,
+		Retry:    retry,
+		Timeout:  p.cfg.StageTimeout,
+		Run:      body,
+	})
+	sh := StageHealth{Stage: name, Health: rep.Health, Attempts: rep.Attempts, Optional: soft}
+	if rep.Err != nil {
+		sh.Err = rep.Err.Error()
+	}
+	p.res.Health.Stages = append(p.res.Health.Stages, sh)
+	switch rep.Health {
+	case resilience.OK:
+		for i := before; i < len(p.res.Stages); i++ {
+			p.res.Stages[i].Health = resilience.OK
+			p.res.Stages[i].Attempts = rep.Attempts
+		}
+		return nil
+	case resilience.Degraded:
+		// Drop any stat a partially-run body appended, then record the
+		// degradation in execution order.
+		p.res.Stages = append(p.res.Stages[:before], StageStat{
+			Stage:     name,
+			Detail:    "degraded: " + sh.Err,
+			Precision: -1,
+			Health:    resilience.Degraded,
+			Err:       sh.Err,
+			Attempts:  rep.Attempts,
+		})
+		return nil
+	default:
+		return rep.Err
+	}
+}
+
+// substrates generates the ground-truth world and every data source
+// derived from it.
+func (p *pipelineRun) substrates(ctx context.Context) error {
+	cfg := p.cfg
+	p.res.World = kb.NewWorld(cfg.World)
+	p.dbp = kb.GenerateDBpedia(p.res.World, cfg.DBpedia)
+	p.fb = kb.GenerateFreebase(p.res.World, cfg.Freebase)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p.stream = querystream.Generate(p.res.World, cfg.Stream)
+	p.sites = webgen.GenerateSites(p.res.World, cfg.Sites)
+	p.corpus = webgen.GenerateCorpus(p.res.World, cfg.Corpus)
+	p.scorer = &eval.Scorer{World: p.res.World}
+	// Entity recognition uses Freebase's covered entities, as in the paper
+	// ("each class is specified as a set of representative entities of
+	// Freebase").
+	p.entIdx = extract.NewEntityIndex(p.fb)
+	return nil
+}
+
+// extractKB runs existing-KB extraction (mandatory: its statements anchor
+// fusion even when every open-Web extractor degrades).
+func (p *pipelineRun) extractKB(context.Context) error {
+	res := p.res
+	res.KBX = kbx.ExtractAttributes(p.crit, p.dbp, p.fb)
+	p.kbStmts = append(kbx.ExtractStatements(p.crit, p.dbp), kbx.ExtractStatements(p.crit, p.fb)...)
+	res.addStage(p.scorer, StageKBX, fmt.Sprintf("%d classes combined", len(res.KBX.PerClass)), p.kbStmts)
+	return nil
+}
+
+// extractQS runs query-stream extraction. Its stat reports the credible
+// attributes it surfaced and their ontology precision (the stage emits
+// attribute evidence, not statements).
+func (p *pipelineRun) extractQS(context.Context) error {
+	res := p.res
+	qres := qsx.Extract(p.stream, p.entIdx, p.cfg.QSX, p.crit)
+	credible, genuine := 0, 0
+	for class, cr := range qres.PerClass {
+		cls := res.World.Ontology.Class(class)
+		for attr := range cr.Credible {
+			credible++
+			if cls != nil {
+				if _, ok := cls.Attribute(attr); ok {
+					genuine++
+				}
+			}
+		}
+	}
+	prec := -1.0
+	if credible > 0 {
+		prec = float64(genuine) / float64(credible)
+	}
+	res.QSX = qres
+	res.Stages = append(res.Stages, StageStat{
+		Stage:      StageQSX,
+		Detail:     fmt.Sprintf("%d records scanned, %d credible attrs", p.stream.Len(), credible),
+		Statements: credible,
+		Precision:  prec,
+	})
+	return nil
+}
+
+// buildSeeds combines KB attributes with credible query-stream attributes
+// per class — plain glue, not a supervised stage. A degraded QSX stage
+// leaves the seeds KB-only.
+func (p *pipelineRun) buildSeeds() {
+	res := p.res
+	for _, class := range res.World.Ontology.ClassNames() {
+		seeds := res.KBX.SeedSet(class).Clone()
+		if res.QSX != nil {
+			if cr, ok := res.QSX.PerClass[class]; ok {
+				seeds.Union(cr.Credible)
+			}
+		}
+		res.SeedSets[class] = seeds
+	}
+}
+
+// extractDOM runs seeded DOM-tree extraction.
+func (p *pipelineRun) extractDOM(context.Context) error {
+	res := p.res
+	dcfg := p.cfg.DOM
+	if p.cfg.DiscoverEntities {
+		dcfg.DiscoverEntities = true
+	}
+	res.DOMX = domx.Extract(domx.FromWebgen(p.sites), p.entIdx, res.SeedSets, dcfg, p.crit)
+	res.addStage(p.scorer, StageDOMX,
+		fmt.Sprintf("%d sites, %d discovered attrs", len(p.sites), totalDiscoveredDOM(res.DOMX)), res.DOMX.Statements)
+	return nil
+}
+
+// extractLists runs multi-record list-page extraction. Hosts whose class
+// cannot be resolved are counted and skipped instead of silently producing
+// unlabeled records.
+func (p *pipelineRun) extractLists(context.Context) error {
+	res := p.res
+	lcfg := p.cfg.ListCfg
+	if lcfg == (webgen.ListConfig{}) {
+		lcfg = webgen.DefaultListConfig()
+	}
+	lists := webgen.GenerateListPages(res.World, p.cfg.Sites.SitesPerClass, lcfg)
+	classOf := hostClassResolver(res.World)
+	known, unknown := splitHostsByClass(lists, classOf)
+	listRes := domx.ExtractLists(domx.ListsFromWebgen(known, classOf), p.entIdx, domx.ListConfig{}, p.crit)
+	p.listRes = listRes
+	res.Lists = listRes
+	detail := fmt.Sprintf("%d regions, %d records", listRes.Regions, listRes.Records)
+	if len(unknown) > 0 {
+		detail += fmt.Sprintf(", %d unknown host(s) skipped", len(unknown))
+	}
+	res.addStage(p.scorer, StageLists, detail, listRes.Statements)
+	return nil
+}
+
+// extractText runs seeded Web-text extraction.
+func (p *pipelineRun) extractText(context.Context) error {
+	res := p.res
+	tcfg := p.cfg.Text
+	if p.cfg.DiscoverEntities {
+		tcfg.DiscoverEntities = true
+	}
+	res.TextX = textx.Extract(p.corpus, p.entIdx, res.SeedSets, tcfg, p.crit)
+	res.addStage(p.scorer, StageTextX,
+		fmt.Sprintf("%d docs, %d patterns", len(p.corpus), len(res.TextX.Patterns)), res.TextX.Statements)
+	return nil
+}
+
+// unionStatements concatenates the surviving extractors' output — glue,
+// not a supervised stage. Degraded extractors contribute nothing.
+func (p *pipelineRun) unionStatements() {
+	res := p.res
+	res.Statements = append(res.Statements, p.kbStmts...)
+	if res.DOMX != nil {
+		res.Statements = append(res.Statements, res.DOMX.Statements...)
+	}
+	if p.listRes != nil {
+		res.Statements = append(res.Statements, p.listRes.Statements...)
+	}
+	if res.TextX != nil {
+		res.Statements = append(res.Statements, res.TextX.Statements...)
+	}
+}
+
+// extractTemporal runs temporal knowledge extraction and timeline fusion.
+func (p *pipelineRun) extractTemporal(context.Context) error {
+	res := p.res
+	tStmts := temporalx.ExtractText(p.corpus, p.entIdx)
+	timelines := temporalx.FuseTimelines(tStmts)
+	correct, total := temporalx.Accuracy(res.World, timelines)
+	prec := -1.0
+	if total > 0 {
+		prec = float64(correct) / float64(total)
+	}
+	res.Timelines = timelines
+	res.Stages = append(res.Stages, StageStat{
+		Stage:      StageTemporal,
+		Detail:     fmt.Sprintf("%d statements, %d timelines", len(tStmts), len(timelines)),
+		Statements: len(tStmts),
+		Precision:  prec,
+	})
+	return nil
+}
+
+// discoverEntities runs joint entity linking and discovery over the
+// unknown-entity facts the surviving open-Web extractors harvested.
+func (p *pipelineRun) discoverEntities(context.Context) error {
+	res := p.res
+	var facts []extract.EntityFact
+	if res.DOMX != nil {
+		facts = append(facts, res.DOMX.NewEntityFacts...)
+	}
+	if res.TextX != nil {
+		facts = append(facts, res.TextX.NewEntityFacts...)
+	}
+	res.Discovered = entitydisc.Discover(facts, p.entIdx, p.cfg.DiscoverCfg)
+	discStmts := res.Discovered.Statements(p.crit.Score(extract.ExtractorDOM, 2, 2))
+	res.Statements = append(res.Statements, discStmts...)
+	res.addStage(p.scorer, StageDiscover,
+		fmt.Sprintf("%d new entities, %d mentions linked, %d rejected",
+			len(res.Discovered.Entities), len(res.Discovered.Linked), res.Discovered.Rejected),
+		discStmts)
+	return nil
+}
+
+// alignStatements runs pre-fusion normalisation.
+func (p *pipelineRun) alignStatements(context.Context) error {
+	res := p.res
+	acfg := p.cfg.AlignCfg
+	if acfg == (align.Config{}) {
+		acfg = align.DefaultConfig()
+	}
+	stmts, rep := align.Normalize(res.Statements, acfg)
+	res.Statements = stmts
+	res.AlignReport = &rep
+	res.Stages = append(res.Stages, StageStat{
+		Stage: StageAlign,
+		Detail: fmt.Sprintf("%d synonyms merged, %d values corrected, %d sub-attrs",
+			len(rep.Synonyms), rep.CorrectedValues, len(rep.SubAttributes)),
+		Statements: len(res.Statements),
+		Precision:  p.scorer.ScoreStatements(res.Statements).Precision(),
+	})
+	return nil
+}
+
+// fuse resolves conflicts across whatever statements survived extraction.
+func (p *pipelineRun) fuse(context.Context) error {
+	res := p.res
+	method := p.cfg.Method
 	if method == nil {
 		method = &fusion.Full{Forest: res.World.Hier}
 	}
-	claims := fusion.BuildClaims(res.Statements, cfg.Granularity)
+	claims := fusion.BuildClaims(res.Statements, p.cfg.Granularity)
 	res.Fused = method.Fuse(claims)
-	res.FusionMetrics = scorer.ScoreFusion(res.Fused)
+	res.FusionMetrics = p.scorer.ScoreFusion(res.Fused)
 	res.Stages = append(res.Stages, StageStat{
 		Stage:      "fusion/" + res.Fused.Method,
 		Detail:     fmt.Sprintf("%d items, %d sources", len(claims.Items), len(claims.SourceNames)),
 		Statements: claims.NumClaims(),
 		Precision:  res.FusionMetrics.Precision(),
 	})
+	return nil
+}
 
-	// --- KB augmentation ------------------------------------------------
-
+// augment attaches accepted triples to the Freebase stand-in's store.
+func (p *pipelineRun) augment(context.Context) error {
+	res := p.res
 	res.Augmented = rdf.NewStore()
 	for _, d := range res.Fused.Decisions {
 		for _, v := range d.Truths {
@@ -304,16 +604,16 @@ func Run(cfg Config) *Result {
 		}
 	}
 	res.Stages = append(res.Stages, StageStat{
-		Stage:      "augment",
+		Stage:      StageAugment,
 		Detail:     "accepted triples attached to Freebase",
 		Statements: res.Augmented.Len(),
 		Precision:  -1,
 	})
-	return res
+	return nil
 }
 
 // hostClassResolver maps generated hostnames ("film-0.example.com") back to
-// their class names.
+// their class names; unknown hosts resolve to "".
 func hostClassResolver(w *kb.World) func(string) string {
 	byPrefix := map[string]string{}
 	for _, c := range w.Ontology.ClassNames() {
@@ -326,6 +626,23 @@ func hostClassResolver(w *kb.World) func(string) string {
 		}
 		return byPrefix[prefix]
 	}
+}
+
+// splitHostsByClass partitions generated list pages into hosts whose class
+// resolves and hosts that do not. Unknown hosts previously mapped to the
+// empty class and silently produced unlabeled records; now they are
+// skipped and surfaced (sorted) so the stage detail can count them.
+func splitHostsByClass(lists map[string][]*webgen.ListPage, classOf func(string) string) (known map[string][]*webgen.ListPage, unknown []string) {
+	known = make(map[string][]*webgen.ListPage, len(lists))
+	for host, pages := range lists {
+		if classOf(host) == "" {
+			unknown = append(unknown, host)
+			continue
+		}
+		known[host] = pages
+	}
+	sort.Strings(unknown)
+	return known, unknown
 }
 
 func (r *Result) addStage(scorer *eval.Scorer, stage, detail string, stmts []rdf.Statement) {
@@ -355,24 +672,39 @@ type AttributeGrowth struct {
 	WithText   int
 }
 
-// Growth summarises attribute-set growth across the pipeline stages.
+// Growth summarises attribute-set growth across the pipeline stages. It
+// tolerates degraded runs: a stage that failed soft contributes no growth
+// beyond its predecessor.
 func (r *Result) Growth() []AttributeGrowth {
 	classes := r.World.Ontology.ClassNames()
 	out := make([]AttributeGrowth, 0, len(classes))
 	for _, class := range classes {
 		g := AttributeGrowth{Class: class}
 		g.KBCombined = r.KBX.SeedSet(class).Len()
-		g.WithQuery = r.SeedSets[class].Len()
-		if cr, ok := r.DOMX.PerClass[class]; ok {
-			g.WithDOM = cr.All.Len()
+		if ss, ok := r.SeedSets[class]; ok {
+			g.WithQuery = ss.Len()
 		} else {
-			g.WithDOM = g.WithQuery
+			g.WithQuery = g.KBCombined
+		}
+		g.WithDOM = g.WithQuery
+		if r.DOMX != nil {
+			if cr, ok := r.DOMX.PerClass[class]; ok {
+				g.WithDOM = cr.All.Len()
+			}
 		}
 		extra := 0
-		if cr, ok := r.TextX.PerClass[class]; ok {
-			for attr := range cr.Discovered {
-				if dcr, ok2 := r.DOMX.PerClass[class]; !ok2 || !dcr.All.Has(attr) {
-					extra++
+		if r.TextX != nil {
+			if cr, ok := r.TextX.PerClass[class]; ok {
+				for attr := range cr.Discovered {
+					covered := false
+					if r.DOMX != nil {
+						if dcr, ok2 := r.DOMX.PerClass[class]; ok2 && dcr.All.Has(attr) {
+							covered = true
+						}
+					}
+					if !covered {
+						extra++
+					}
 				}
 			}
 		}

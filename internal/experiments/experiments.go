@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"akb/internal/confidence"
@@ -103,18 +104,38 @@ type PipelineReport struct {
 	AugmentedTriples int
 	// TotalStatements is the pre-fusion claim volume.
 	TotalStatements int
+	// Health reports supervised stage outcomes; Degraded lists the stages
+	// that failed soft (empty on a fault-free run).
+	Health   core.HealthReport
+	Degraded []string
 }
 
 // Pipeline runs the full framework and summarises it.
 func Pipeline(cfg core.Config) PipelineReport {
-	res := core.Run(cfg)
+	rep, err := PipelineContext(context.Background(), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments.Pipeline: %v", err))
+	}
+	return rep
+}
+
+// PipelineContext runs the full framework under the resilience supervisor
+// and summarises it; it errors when a mandatory stage fails or the context
+// is cancelled.
+func PipelineContext(ctx context.Context, cfg core.Config) (PipelineReport, error) {
+	res, err := core.RunContext(ctx, cfg)
+	if err != nil {
+		return PipelineReport{}, err
+	}
 	return PipelineReport{
 		Stages:           res.Stages,
 		Growth:           res.Growth(),
 		Fusion:           res.FusionMetrics,
 		AugmentedTriples: res.Augmented.Len(),
 		TotalStatements:  len(res.Statements),
-	}
+		Health:           res.Health,
+		Degraded:         res.Health.Degraded(),
+	}, nil
 }
 
 // --- E5: Algorithm 1 behaviour sweeps ------------------------------------

@@ -8,10 +8,47 @@
 package mapreduce
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
+
+// Panic wraps a panic captured inside a worker goroutine. The executor
+// re-raises it on the caller's goroutine, so a panicking mapper or reducer
+// no longer kills the process outright: callers (such as the pipeline
+// supervisor) can recover it like any synchronous panic. Value is the
+// original panic value and Stack the worker's stack at capture time.
+type Panic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *Panic) Error() string { return fmt.Sprintf("mapreduce worker panic: %v", p.Value) }
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("mapreduce worker panic: %v\nworker stack:\n%s", p.Value, p.Stack)
+}
+
+// capture runs fn, recording the first panic across workers into caught
+// and raising the failed flag so remaining work is skipped.
+func capture(once *sync.Once, failed *atomic.Bool, caught **Panic, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			failed.Store(true)
+			once.Do(func() {
+				if p, ok := r.(*Panic); ok {
+					*caught = p // nested executor: keep the innermost capture
+					return
+				}
+				*caught = &Panic{Value: r, Stack: debug.Stack()}
+			})
+		}
+	}()
+	fn()
+}
 
 // KV is one key/value pair emitted by a mapper.
 type KV[V any] struct {
@@ -36,6 +73,10 @@ func (c Config) workers() int {
 // Run executes a map-shuffle-reduce job: mapper is applied to every input,
 // emitted pairs are grouped by key, and reducer is applied to each group.
 // The returned slice concatenates reducer outputs in sorted key order.
+//
+// Workers are panic-safe: if a mapper or reducer panics, remaining work is
+// cancelled and the first captured panic is re-raised on the caller's
+// goroutine as a *Panic, instead of crashing the process from a worker.
 func Run[I, V, O any](cfg Config, inputs []I, mapper func(I) []KV[V], reducer func(key string, values []V) []O) []O {
 	groups := Shuffle(MapPhase(cfg, inputs, mapper))
 	return ReducePhase(cfg, groups, reducer)
@@ -56,22 +97,36 @@ func MapPhase[I, V any](cfg Config, inputs []I, mapper func(I) []KV[V]) []KV[V] 
 		return out
 	}
 	results := make([][]KV[V], len(inputs))
-	var wg sync.WaitGroup
+	var (
+		wg     sync.WaitGroup
+		once   sync.Once
+		failed atomic.Bool
+		caught *Panic
+	)
 	ch := make(chan int)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				results[i] = mapper(inputs[i])
+				if failed.Load() {
+					continue // a sibling panicked: drain without working
+				}
+				capture(&once, &failed, &caught, func() { results[i] = mapper(inputs[i]) })
 			}
 		}()
 	}
 	for i := range inputs {
+		if failed.Load() {
+			break
+		}
 		ch <- i
 	}
 	close(ch)
 	wg.Wait()
+	if caught != nil {
+		panic(caught)
+	}
 	var out []KV[V]
 	for _, r := range results {
 		out = append(out, r...)
@@ -119,22 +174,36 @@ func ReducePhase[V, O any](cfg Config, groups []Group[V], reducer func(key strin
 		return out
 	}
 	results := make([][]O, len(groups))
-	var wg sync.WaitGroup
+	var (
+		wg     sync.WaitGroup
+		once   sync.Once
+		failed atomic.Bool
+		caught *Panic
+	)
 	ch := make(chan int)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				results[i] = reducer(groups[i].Key, groups[i].Values)
+				if failed.Load() {
+					continue // a sibling panicked: drain without working
+				}
+				capture(&once, &failed, &caught, func() { results[i] = reducer(groups[i].Key, groups[i].Values) })
 			}
 		}()
 	}
 	for i := range groups {
+		if failed.Load() {
+			break
+		}
 		ch <- i
 	}
 	close(ch)
 	wg.Wait()
+	if caught != nil {
+		panic(caught)
+	}
 	var out []O
 	for _, r := range results {
 		out = append(out, r...)

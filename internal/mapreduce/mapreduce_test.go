@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestRunWordCount(t *testing.T) {
@@ -109,6 +110,113 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// recoverPanic runs fn and returns the recovered *Panic (nil if fn
+// returned normally).
+func recoverPanic(fn func()) (p *Panic) {
+	defer func() {
+		if r := recover(); r != nil {
+			var ok bool
+			if p, ok = r.(*Panic); !ok {
+				panic(r)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestPanickingMapperDoesNotKillProcess(t *testing.T) {
+	inputs := make([]int, 64)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	p := recoverPanic(func() {
+		Run(Config{Workers: 4}, inputs,
+			func(i int) []KV[int] {
+				if i == 17 {
+					panic("mapper boom")
+				}
+				return []KV[int]{{Key: "k", Value: i}}
+			},
+			func(key string, values []int) []int { return values })
+	})
+	if p == nil {
+		t.Fatal("panic was swallowed instead of re-raised on the caller")
+	}
+	if p.Value != "mapper boom" {
+		t.Errorf("panic value = %v", p.Value)
+	}
+	if len(p.Stack) == 0 {
+		t.Error("worker stack not captured")
+	}
+}
+
+func TestPanickingReducerDoesNotKillProcess(t *testing.T) {
+	inputs := make([]int, 32)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	p := recoverPanic(func() {
+		Run(Config{Workers: 4}, inputs,
+			func(i int) []KV[int] {
+				return []KV[int]{{Key: fmt.Sprintf("g%d", i%8), Value: i}}
+			},
+			func(key string, values []int) []int {
+				if key == "g3" {
+					panic("reducer boom")
+				}
+				return values
+			})
+	})
+	if p == nil {
+		t.Fatal("reducer panic not re-raised on the caller")
+	}
+	if p.Value != "reducer boom" {
+		t.Errorf("panic value = %v", p.Value)
+	}
+}
+
+func TestPanicCancelsRemainingWork(t *testing.T) {
+	// After the first panic, draining workers must skip remaining inputs;
+	// with a single worker the count is deterministic.
+	inputs := make([]int, 1000)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	// Workers: 2 takes the parallel path (the serial path never spawns
+	// goroutines); one of the two panics immediately.
+	ran := make([]bool, len(inputs))
+	recoverPanic(func() {
+		MapPhase(Config{Workers: 2}, inputs, func(i int) []KV[int] {
+			if i == 0 {
+				panic("early boom")
+			}
+			ran[i] = true
+			time.Sleep(10 * time.Microsecond) // give the capture a chance to raise the flag
+			return nil
+		})
+	})
+	count := 0
+	for _, r := range ran {
+		if r {
+			count++
+		}
+	}
+	if count == len(inputs)-1 {
+		t.Error("no remaining work was cancelled after the panic")
+	}
+}
+
+func TestPanicEveryInputStillTerminates(t *testing.T) {
+	inputs := make([]int, 100)
+	p := recoverPanic(func() {
+		MapPhase(Config{Workers: 8}, inputs, func(i int) []KV[int] { panic(i) })
+	})
+	if p == nil {
+		t.Fatal("no panic surfaced")
 	}
 }
 
