@@ -8,6 +8,7 @@ package akb_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	"akb/internal/align"
@@ -15,6 +16,7 @@ import (
 	"akb/internal/eval"
 	"akb/internal/experiments"
 	"akb/internal/fusion"
+	"akb/internal/obs"
 	"akb/internal/rdf"
 	"akb/internal/resilience"
 )
@@ -261,6 +263,42 @@ func BenchmarkSupervisedPipeline(b *testing.B) {
 		if err != nil || res.Augmented.Len() == 0 {
 			b.Fatalf("pipeline failed: %v", err)
 		}
+	}
+}
+
+// BenchmarkPipelineTelemetry runs the supervised pipeline with the full
+// telemetry layer attached — spans, counters and latency histograms on
+// every stage — and writes the final iteration's RunReport to
+// BENCH_pipeline.json. CI archives that file per commit, so the per-stage
+// duration and throughput trajectory is diffable across PRs. Comparing
+// against BenchmarkSupervisedPipeline gives the telemetry overhead.
+func BenchmarkPipelineTelemetry(b *testing.B) {
+	cfg := core.DefaultConfig()
+	b.ReportAllocs()
+	var last *obs.RunReport
+	for i := 0; i < b.N; i++ {
+		run := obs.NewRun()
+		res, err := core.RunContext(obs.Into(context.Background(), run), cfg)
+		if err != nil || res.Augmented.Len() == 0 {
+			b.Fatalf("pipeline failed: %v", err)
+		}
+		rr, err := run.Report(res.Health)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rr.RootSpans()) == 0 || len(rr.Metrics) == 0 {
+			b.Fatal("telemetry run recorded no spans or metrics")
+		}
+		last = rr
+	}
+	b.StopTimer()
+	f, err := os.Create("BENCH_pipeline.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := last.WriteJSON(f); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -23,6 +23,7 @@ func cmdChaos(args []string) error {
 	transient := fs.Bool("transient", false, "injected faults are transient (retries can recover them)")
 	retries := fs.Int("retries", 1, "attempt budget per stage (>1 lets transient faults recover)")
 	fseed := fs.Int64("fault-seed", 1, "seed for deterministic fault decisions")
+	outPath := fs.String("out", "", "also write the sweep as stable JSON to this file (diffable across PRs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +48,10 @@ func cmdChaos(args []string) error {
 	fmt.Printf("Chaos sweep over %d stage(s): %s\n", len(stages), strings.Join(stages, ", "))
 	fmt.Printf("faults: transient=%v retries=%d fault-seed=%d\n\n", *transient, *retries, *fseed)
 
+	sweep := chaosSweep{
+		Targets: stages, Transient: *transient, Retries: *retries,
+		Seed: *seed, FaultSeed: *fseed,
+	}
 	rows := make([][]string, 0)
 	for _, rs := range strings.Split(*rates, ",") {
 		rs = strings.TrimSpace(rs)
@@ -77,6 +82,7 @@ func cmdChaos(args []string) error {
 			rows = append(rows, []string{
 				fmt.Sprintf("%.2f", rate), "-", "pipeline failed: " + firstLine(err.Error()), "-", "-", "-",
 			})
+			sweep.Rows = append(sweep.Rows, chaosRow{Rate: rate, Failed: firstLine(err.Error())})
 			continue
 		}
 		rows = append(rows, []string{
@@ -87,12 +93,52 @@ func cmdChaos(args []string) error {
 			fmt.Sprintf("%.3f", rep.Fusion.Precision()),
 			fmt.Sprintf("%d", rep.AugmentedTriples),
 		})
+		sweep.Rows = append(sweep.Rows, chaosRow{
+			Rate:             rate,
+			Degraded:         rep.Degraded,
+			SupervisedStages: len(rep.Health.Stages),
+			Statements:       rep.TotalStatements,
+			FusionPrecision:  rep.Fusion.Precision(),
+			AugmentedTriples: rep.AugmentedTriples,
+			Health:           rep.Health,
+		})
 	}
 	fmt.Print(eval.FormatTable(
 		[]string{"Fail rate", "Degraded", "Stages failed", "Statements", "Fusion prec", "Augmented"}, rows))
-	fmt.Println("\nMandatory stages (substrates, extract/kbx, fusion, augment) abort the run when faulted;")
+	fmt.Println("\nMandatory stages (substrates, seeds, union, extract/kbx, fusion, augment) abort the run when faulted;")
 	fmt.Println("optional stages degrade it: fusion proceeds on whatever the surviving extractors produced.")
+	if *outPath != "" {
+		if err := writeJSONFile(*outPath, sweep); err != nil {
+			return err
+		}
+		fmt.Printf("\nsweep written to %s\n", *outPath)
+	}
 	return nil
+}
+
+// chaosSweep is the machine-readable form of one degradation sweep. Every
+// field is deterministic in (seed, fault-seed, rates), so two sweeps of
+// the same code diff clean and behaviour changes show up in review.
+type chaosSweep struct {
+	Targets   []string   `json:"targets"`
+	Transient bool       `json:"transient"`
+	Retries   int        `json:"retries"`
+	Seed      int64      `json:"seed"`
+	FaultSeed int64      `json:"fault_seed"`
+	Rows      []chaosRow `json:"rows"`
+}
+
+// chaosRow is one failure-rate point of the sweep.
+type chaosRow struct {
+	Rate             float64           `json:"rate"`
+	Degraded         []string          `json:"degraded,omitempty"`
+	SupervisedStages int               `json:"supervised_stages,omitempty"`
+	Statements       int               `json:"statements,omitempty"`
+	FusionPrecision  float64           `json:"fusion_precision,omitempty"`
+	AugmentedTriples int               `json:"augmented_triples,omitempty"`
+	Health           core.HealthReport `json:"health,omitempty"`
+	// Failed carries the abort error when a mandatory stage was hit.
+	Failed string `json:"failed,omitempty"`
 }
 
 func firstLine(s string) string {

@@ -40,6 +40,7 @@ func commands() []command {
 		{"table2", "Table 2: attribute extraction from existing KBs", cmdTable2},
 		{"table3", "Table 3: query-stream extraction results", cmdTable3},
 		{"pipeline", "Figure 1: full extraction+fusion pipeline", cmdPipeline},
+		{"report", "pretty-print a telemetry RunReport JSON", cmdReport},
 		{"domsweep", "Algorithm 1 parameter sweep", cmdDOMSweep},
 		{"fusion", "fusion method comparison", cmdFusion},
 		{"ablation", "fusion design-choice ablations", cmdAblation},

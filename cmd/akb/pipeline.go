@@ -10,6 +10,7 @@ import (
 	"akb/internal/core"
 	"akb/internal/eval"
 	"akb/internal/experiments"
+	"akb/internal/obs"
 	"akb/internal/rdf"
 	"akb/internal/resilience"
 )
@@ -47,6 +48,7 @@ func cmdPipeline(args []string) error {
 	discover := fs.Bool("discover", false, "enable joint entity linking and discovery")
 	temporal := fs.Bool("temporal", false, "enable temporal extraction and timeline fusion")
 	lists := fs.Bool("lists", false, "enable multi-record list-page extraction")
+	reportPath := fs.String("report", "", "write a machine-readable telemetry RunReport (spans, metrics, health) to this JSON file")
 	buildFaults := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,9 +63,26 @@ func cmdPipeline(args []string) error {
 		return err
 	}
 	cfg.Faults = plan
-	rep, err := experiments.PipelineContext(context.Background(), cfg)
+	ctx := context.Background()
+	var run *obs.Run
+	if *reportPath != "" {
+		run = obs.NewRun()
+		ctx = obs.Into(ctx, run)
+	}
+	rep, err := experiments.PipelineContext(ctx, cfg)
 	if err != nil {
 		return fmt.Errorf("pipeline aborted: %w", err)
+	}
+	if run != nil {
+		rr, rerr := run.Report(rep.Health)
+		if rerr != nil {
+			return rerr
+		}
+		if werr := writeJSONFile(*reportPath, rr); werr != nil {
+			return werr
+		}
+		defer fmt.Printf("\nRunReport: %d spans, %d metrics -> %s (render with `akb report %s`)\n",
+			len(rr.Spans), len(rr.Metrics), *reportPath, *reportPath)
 	}
 
 	fmt.Println("Figure 1: knowledge extraction -> knowledge fusion -> KB augmentation")
@@ -142,4 +161,15 @@ func degradedSummary(stages []string) string {
 		return "-"
 	}
 	return strings.Join(stages, " ")
+}
+
+// writeJSONFile serialises v through the shared obs JSON exporter, so
+// every artifact the CLI writes is stable and diffable.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.WriteJSON(f, v)
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"akb/internal/core"
+	"akb/internal/eval"
+	"akb/internal/obs"
+)
+
+// cmdReport pretty-prints a telemetry RunReport written by `akb pipeline
+// -report`: a per-stage table (duration, attempts, statements, throughput)
+// derived from the root spans, the embedded health report, and the metric
+// snapshot.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	metricsOn := fs.Bool("metrics", true, "print the metric snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: akb report [flags] <runreport.json>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rr, err := obs.ReadRunReport(f)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("Run started %s, wall time %s, %d spans, %d metrics\n",
+		rr.Started.Format(time.RFC3339), time.Duration(rr.DurationNS).Round(time.Millisecond),
+		len(rr.Spans), len(rr.Metrics))
+	if len(rr.Health) > 0 {
+		var health core.HealthReport
+		if err := json.Unmarshal(rr.Health, &health); err == nil {
+			fmt.Printf("Health: %s\n", health)
+		}
+	}
+
+	fmt.Println("\nPer-stage telemetry (root spans):")
+	rows := make([][]string, 0)
+	for _, span := range rr.RootSpans() {
+		stmts, rate := "-", "-"
+		if n, ok := stageStatements(rr, span); ok {
+			stmts = strconv.Itoa(n)
+			if secs := span.Duration().Seconds(); secs > 0 {
+				rate = fmt.Sprintf("%.0f", float64(n)/secs)
+			}
+		}
+		errCell := "-"
+		if span.Error != "" {
+			errCell = firstLine(span.Error)
+		}
+		rows = append(rows, []string{
+			span.Name,
+			span.Duration().Round(10 * time.Microsecond).String(),
+			orDash(span.Attr("attempts")),
+			orDash(span.Attr("health")),
+			stmts,
+			rate,
+			errCell,
+		})
+	}
+	fmt.Print(eval.FormatTable(
+		[]string{"Stage", "Duration", "Attempts", "Health", "Statements", "Stmts/sec", "Error"}, rows))
+
+	if *metricsOn && len(rr.Metrics) > 0 {
+		fmt.Println("\nMetrics:")
+		mrows := make([][]string, 0, len(rr.Metrics))
+		for _, m := range rr.Metrics {
+			switch m.Kind {
+			case "histogram":
+				mean := "-"
+				if m.Count > 0 {
+					mean = fmt.Sprintf("%.6f", m.Sum/float64(m.Count))
+				}
+				mrows = append(mrows, []string{m.Name, m.Kind,
+					fmt.Sprintf("count=%d sum=%.6f mean=%s", m.Count, m.Sum, mean)})
+			default:
+				mrows = append(mrows, []string{m.Name, m.Kind, formatMetricValue(m.Value)})
+			}
+		}
+		fmt.Print(eval.FormatTable([]string{"Metric", "Kind", "Value"}, mrows))
+	}
+	return nil
+}
+
+// stageStatements finds the stage's "statements" annotation: on the stage
+// span itself or, since stage bodies annotate the attempt they ran under,
+// on the latest child attempt span that carries one.
+func stageStatements(rr *obs.RunReport, span obs.SpanReport) (int, bool) {
+	candidates := []obs.SpanReport{span}
+	candidates = append(candidates, rr.Children(span.ID)...)
+	found, ok := 0, false
+	for _, c := range candidates {
+		if v := c.Attr("statements"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil {
+				found, ok = n, true
+			}
+		}
+	}
+	return found, ok
+}
+
+func formatMetricValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 6, 64)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

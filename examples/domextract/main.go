@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -69,7 +70,7 @@ func main() {
 		}
 		seeds[cls] = s
 	}
-	res := domx.Extract(domx.FromWebgen(sites), idx, seeds, domx.DefaultConfig(), confidence.Default())
+	res := domx.Extract(context.Background(), domx.FromWebgen(sites), idx, seeds, domx.DefaultConfig(), confidence.Default())
 
 	fmt.Println("\nPer-class extraction outcome:")
 	for _, cls := range res.Classes() {

@@ -11,22 +11,25 @@ import (
 // report.
 type StageHealth struct {
 	// Stage is the supervised stage name (a Stage* constant).
-	Stage string
-	// Health is the supervisor's verdict for the stage.
-	Health resilience.Health
+	Stage string `json:"stage"`
+	// Health is the supervisor's verdict for the stage; it serialises as
+	// its lowercase string form ("ok", "degraded", ...).
+	Health resilience.Health `json:"health"`
 	// Attempts is how many attempts the stage consumed.
-	Attempts int
+	Attempts int `json:"attempts"`
 	// Optional records whether the stage was allowed to fail soft.
-	Optional bool
+	Optional bool `json:"optional,omitempty"`
 	// Err is the final error message for degraded or failed stages.
-	Err string
+	Err string `json:"err,omitempty"`
 }
 
 // HealthReport aggregates supervised outcomes across the run, including
-// stages (substrates, seeds) that emit no statement statistics.
+// stages (substrates, seeds) that emit no statement statistics. It
+// serialises with stable lowercase keys so it embeds cleanly in the
+// obs.RunReport JSON.
 type HealthReport struct {
 	// Stages lists every supervised stage in execution order.
-	Stages []StageHealth
+	Stages []StageHealth `json:"stages"`
 }
 
 // Stage returns the health entry for a stage name.

@@ -33,6 +33,7 @@ import (
 	"akb/internal/extract/textx"
 	"akb/internal/fusion"
 	"akb/internal/kb"
+	"akb/internal/obs"
 	"akb/internal/querystream"
 	"akb/internal/rdf"
 	"akb/internal/resilience"
@@ -43,6 +44,8 @@ import (
 // Supervised stage names, usable as resilience.FaultPlan keys.
 const (
 	StageSubstrates = "substrates"
+	StageSeeds      = "seeds"
+	StageUnion      = "union"
 	StageKBX        = "extract/kbx"
 	StageQSX        = "extract/qsx"
 	StageDOMX       = "extract/domx"
@@ -58,7 +61,7 @@ const (
 // MandatoryStageNames lists the stages that fail the whole run: without
 // substrates, KB statements, fusion or augmentation there is no result.
 func MandatoryStageNames() []string {
-	return []string{StageSubstrates, StageKBX, StageFusion, StageAugment}
+	return []string{StageSubstrates, StageKBX, StageSeeds, StageUnion, StageFusion, StageAugment}
 }
 
 // OptionalStageNames lists the stages that fail soft: the pipeline
@@ -262,7 +265,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := p.runStage(ctx, StageQSX, optional, p.extractQS); err != nil {
 		return nil, err
 	}
-	p.buildSeeds()
+	if err := p.runStage(ctx, StageSeeds, mandatory, p.buildSeeds); err != nil {
+		return nil, err
+	}
 	if err := p.runStage(ctx, StageDOMX, optional, p.extractDOM); err != nil {
 		return nil, err
 	}
@@ -274,7 +279,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := p.runStage(ctx, StageTextX, optional, p.extractText); err != nil {
 		return nil, err
 	}
-	p.unionStatements()
+	if err := p.runStage(ctx, StageUnion, mandatory, p.unionStatements); err != nil {
+		return nil, err
+	}
 	if cfg.Temporal {
 		if err := p.runStage(ctx, StageTemporal, optional, p.extractTemporal); err != nil {
 			return nil, err
@@ -393,10 +400,11 @@ func (p *pipelineRun) substrates(ctx context.Context) error {
 
 // extractKB runs existing-KB extraction (mandatory: its statements anchor
 // fusion even when every open-Web extractor degrades).
-func (p *pipelineRun) extractKB(context.Context) error {
+func (p *pipelineRun) extractKB(ctx context.Context) error {
 	res := p.res
-	res.KBX = kbx.ExtractAttributes(p.crit, p.dbp, p.fb)
-	p.kbStmts = append(kbx.ExtractStatements(p.crit, p.dbp), kbx.ExtractStatements(p.crit, p.fb)...)
+	res.KBX = kbx.ExtractAttributes(ctx, p.crit, p.dbp, p.fb)
+	p.kbStmts = append(kbx.ExtractStatements(ctx, p.crit, p.dbp), kbx.ExtractStatements(ctx, p.crit, p.fb)...)
+	obs.Current(ctx).AnnotateInt("statements", int64(len(p.kbStmts)))
 	res.addStage(p.scorer, StageKBX, fmt.Sprintf("%d classes combined", len(res.KBX.PerClass)), p.kbStmts)
 	return nil
 }
@@ -404,9 +412,9 @@ func (p *pipelineRun) extractKB(context.Context) error {
 // extractQS runs query-stream extraction. Its stat reports the credible
 // attributes it surfaced and their ontology precision (the stage emits
 // attribute evidence, not statements).
-func (p *pipelineRun) extractQS(context.Context) error {
+func (p *pipelineRun) extractQS(ctx context.Context) error {
 	res := p.res
-	qres := qsx.Extract(p.stream, p.entIdx, p.cfg.QSX, p.crit)
+	qres := qsx.Extract(ctx, p.stream, p.entIdx, p.cfg.QSX, p.crit)
 	credible, genuine := 0, 0
 	for class, cr := range qres.PerClass {
 		cls := res.World.Ontology.Class(class)
@@ -424,6 +432,7 @@ func (p *pipelineRun) extractQS(context.Context) error {
 		prec = float64(genuine) / float64(credible)
 	}
 	res.QSX = qres
+	obs.Current(ctx).AnnotateInt("statements", int64(credible))
 	res.Stages = append(res.Stages, StageStat{
 		Stage:      StageQSX,
 		Detail:     fmt.Sprintf("%d records scanned, %d credible attrs", p.stream.Len(), credible),
@@ -434,10 +443,12 @@ func (p *pipelineRun) extractQS(context.Context) error {
 }
 
 // buildSeeds combines KB attributes with credible query-stream attributes
-// per class — plain glue, not a supervised stage. A degraded QSX stage
-// leaves the seeds KB-only.
-func (p *pipelineRun) buildSeeds() {
+// per class. It is supervised as the mandatory "seeds" stage (it rebuilds
+// the seed map from scratch, so a retried attempt is idempotent). A
+// degraded QSX stage leaves the seeds KB-only.
+func (p *pipelineRun) buildSeeds(context.Context) error {
 	res := p.res
+	res.SeedSets = make(map[string]extract.AttrSet)
 	for _, class := range res.World.Ontology.ClassNames() {
 		seeds := res.KBX.SeedSet(class).Clone()
 		if res.QSX != nil {
@@ -447,16 +458,18 @@ func (p *pipelineRun) buildSeeds() {
 		}
 		res.SeedSets[class] = seeds
 	}
+	return nil
 }
 
 // extractDOM runs seeded DOM-tree extraction.
-func (p *pipelineRun) extractDOM(context.Context) error {
+func (p *pipelineRun) extractDOM(ctx context.Context) error {
 	res := p.res
 	dcfg := p.cfg.DOM
 	if p.cfg.DiscoverEntities {
 		dcfg.DiscoverEntities = true
 	}
-	res.DOMX = domx.Extract(domx.FromWebgen(p.sites), p.entIdx, res.SeedSets, dcfg, p.crit)
+	res.DOMX = domx.Extract(ctx, domx.FromWebgen(p.sites), p.entIdx, res.SeedSets, dcfg, p.crit)
+	obs.Current(ctx).AnnotateInt("statements", int64(len(res.DOMX.Statements)))
 	res.addStage(p.scorer, StageDOMX,
 		fmt.Sprintf("%d sites, %d discovered attrs", len(p.sites), totalDiscoveredDOM(res.DOMX)), res.DOMX.Statements)
 	return nil
@@ -465,7 +478,7 @@ func (p *pipelineRun) extractDOM(context.Context) error {
 // extractLists runs multi-record list-page extraction. Hosts whose class
 // cannot be resolved are counted and skipped instead of silently producing
 // unlabeled records.
-func (p *pipelineRun) extractLists(context.Context) error {
+func (p *pipelineRun) extractLists(ctx context.Context) error {
 	res := p.res
 	lcfg := p.cfg.ListCfg
 	if lcfg == (webgen.ListConfig{}) {
@@ -474,8 +487,9 @@ func (p *pipelineRun) extractLists(context.Context) error {
 	lists := webgen.GenerateListPages(res.World, p.cfg.Sites.SitesPerClass, lcfg)
 	classOf := hostClassResolver(res.World)
 	known, unknown := splitHostsByClass(lists, classOf)
-	listRes := domx.ExtractLists(domx.ListsFromWebgen(known, classOf), p.entIdx, domx.ListConfig{}, p.crit)
+	listRes := domx.ExtractLists(ctx, domx.ListsFromWebgen(known, classOf), p.entIdx, domx.ListConfig{}, p.crit)
 	p.listRes = listRes
+	obs.Current(ctx).AnnotateInt("statements", int64(len(listRes.Statements)))
 	res.Lists = listRes
 	detail := fmt.Sprintf("%d regions, %d records", listRes.Regions, listRes.Records)
 	if len(unknown) > 0 {
@@ -486,22 +500,26 @@ func (p *pipelineRun) extractLists(context.Context) error {
 }
 
 // extractText runs seeded Web-text extraction.
-func (p *pipelineRun) extractText(context.Context) error {
+func (p *pipelineRun) extractText(ctx context.Context) error {
 	res := p.res
 	tcfg := p.cfg.Text
 	if p.cfg.DiscoverEntities {
 		tcfg.DiscoverEntities = true
 	}
-	res.TextX = textx.Extract(p.corpus, p.entIdx, res.SeedSets, tcfg, p.crit)
+	res.TextX = textx.Extract(ctx, p.corpus, p.entIdx, res.SeedSets, tcfg, p.crit)
+	obs.Current(ctx).AnnotateInt("statements", int64(len(res.TextX.Statements)))
 	res.addStage(p.scorer, StageTextX,
 		fmt.Sprintf("%d docs, %d patterns", len(p.corpus), len(res.TextX.Patterns)), res.TextX.Statements)
 	return nil
 }
 
-// unionStatements concatenates the surviving extractors' output — glue,
-// not a supervised stage. Degraded extractors contribute nothing.
-func (p *pipelineRun) unionStatements() {
+// unionStatements concatenates the surviving extractors' output. It is
+// supervised as the mandatory "union" stage; the slice is rebuilt from
+// scratch so a retried attempt is idempotent. Degraded extractors
+// contribute nothing.
+func (p *pipelineRun) unionStatements(ctx context.Context) error {
 	res := p.res
+	res.Statements = nil
 	res.Statements = append(res.Statements, p.kbStmts...)
 	if res.DOMX != nil {
 		res.Statements = append(res.Statements, res.DOMX.Statements...)
@@ -512,12 +530,17 @@ func (p *pipelineRun) unionStatements() {
 	if res.TextX != nil {
 		res.Statements = append(res.Statements, res.TextX.Statements...)
 	}
+	obs.Reg(ctx).Counter("akb_pipeline_statements_total").Add(int64(len(res.Statements)))
+	obs.Current(ctx).AnnotateInt("statements", int64(len(res.Statements)))
+	return nil
 }
 
 // extractTemporal runs temporal knowledge extraction and timeline fusion.
-func (p *pipelineRun) extractTemporal(context.Context) error {
+func (p *pipelineRun) extractTemporal(ctx context.Context) error {
 	res := p.res
 	tStmts := temporalx.ExtractText(p.corpus, p.entIdx)
+	obs.Reg(ctx).Counter("akb_temporal_statements_total").Add(int64(len(tStmts)))
+	obs.Current(ctx).AnnotateInt("statements", int64(len(tStmts)))
 	timelines := temporalx.FuseTimelines(tStmts)
 	correct, total := temporalx.Accuracy(res.World, timelines)
 	prec := -1.0
@@ -536,7 +559,7 @@ func (p *pipelineRun) extractTemporal(context.Context) error {
 
 // discoverEntities runs joint entity linking and discovery over the
 // unknown-entity facts the surviving open-Web extractors harvested.
-func (p *pipelineRun) discoverEntities(context.Context) error {
+func (p *pipelineRun) discoverEntities(ctx context.Context) error {
 	res := p.res
 	var facts []extract.EntityFact
 	if res.DOMX != nil {
@@ -548,6 +571,8 @@ func (p *pipelineRun) discoverEntities(context.Context) error {
 	res.Discovered = entitydisc.Discover(facts, p.entIdx, p.cfg.DiscoverCfg)
 	discStmts := res.Discovered.Statements(p.crit.Score(extract.ExtractorDOM, 2, 2))
 	res.Statements = append(res.Statements, discStmts...)
+	obs.Reg(ctx).Counter("akb_discover_entities_total").Add(int64(len(res.Discovered.Entities)))
+	obs.Current(ctx).AnnotateInt("statements", int64(len(discStmts)))
 	res.addStage(p.scorer, StageDiscover,
 		fmt.Sprintf("%d new entities, %d mentions linked, %d rejected",
 			len(res.Discovered.Entities), len(res.Discovered.Linked), res.Discovered.Rejected),
@@ -556,7 +581,7 @@ func (p *pipelineRun) discoverEntities(context.Context) error {
 }
 
 // alignStatements runs pre-fusion normalisation.
-func (p *pipelineRun) alignStatements(context.Context) error {
+func (p *pipelineRun) alignStatements(ctx context.Context) error {
 	res := p.res
 	acfg := p.cfg.AlignCfg
 	if acfg == (align.Config{}) {
@@ -565,6 +590,8 @@ func (p *pipelineRun) alignStatements(context.Context) error {
 	stmts, rep := align.Normalize(res.Statements, acfg)
 	res.Statements = stmts
 	res.AlignReport = &rep
+	obs.Reg(ctx).Counter("akb_align_corrections_total").Add(int64(rep.CorrectedValues))
+	obs.Current(ctx).AnnotateInt("statements", int64(len(res.Statements)))
 	res.Stages = append(res.Stages, StageStat{
 		Stage: StageAlign,
 		Detail: fmt.Sprintf("%d synonyms merged, %d values corrected, %d sub-attrs",
@@ -576,15 +603,32 @@ func (p *pipelineRun) alignStatements(context.Context) error {
 }
 
 // fuse resolves conflicts across whatever statements survived extraction.
-func (p *pipelineRun) fuse(context.Context) error {
+func (p *pipelineRun) fuse(ctx context.Context) error {
 	res := p.res
+	reg := obs.Reg(ctx)
 	method := p.cfg.Method
 	if method == nil {
-		method = &fusion.Full{Forest: res.World.Hier}
+		// The default method carries the run's registry so the mapreduce
+		// executor underneath it records fanout and task latencies.
+		method = &fusion.Full{Forest: res.World.Hier, Obs: reg}
 	}
 	claims := fusion.BuildClaims(res.Statements, p.cfg.Granularity)
 	res.Fused = method.Fuse(claims)
 	res.FusionMetrics = p.scorer.ScoreFusion(res.Fused)
+	reg.Counter("akb_fusion_claims_total").Add(int64(claims.NumClaims()))
+	reg.Gauge("akb_fusion_sources").Set(float64(len(claims.SourceNames)))
+	conflicts, truths := 0, 0
+	for _, it := range claims.Items {
+		if len(it.Values) > 1 {
+			conflicts++
+		}
+	}
+	for _, d := range res.Fused.Decisions {
+		truths += len(d.Truths)
+	}
+	reg.Counter("akb_fusion_conflicts_total").Add(int64(conflicts))
+	reg.Counter("akb_fusion_truths_total").Add(int64(truths))
+	obs.Current(ctx).AnnotateInt("statements", int64(claims.NumClaims()))
 	res.Stages = append(res.Stages, StageStat{
 		Stage:      "fusion/" + res.Fused.Method,
 		Detail:     fmt.Sprintf("%d items, %d sources", len(claims.Items), len(claims.SourceNames)),
@@ -595,7 +639,7 @@ func (p *pipelineRun) fuse(context.Context) error {
 }
 
 // augment attaches accepted triples to the Freebase stand-in's store.
-func (p *pipelineRun) augment(context.Context) error {
+func (p *pipelineRun) augment(ctx context.Context) error {
 	res := p.res
 	res.Augmented = rdf.NewStore()
 	for _, d := range res.Fused.Decisions {
@@ -603,6 +647,8 @@ func (p *pipelineRun) augment(context.Context) error {
 			res.Augmented.Add(rdf.T(d.Item.Subject, d.Item.Predicate, v))
 		}
 	}
+	obs.Reg(ctx).Counter("akb_pipeline_augmented_triples_total").Add(int64(res.Augmented.Len()))
+	obs.Current(ctx).AnnotateInt("statements", int64(res.Augmented.Len()))
 	res.Stages = append(res.Stages, StageStat{
 		Stage:      StageAugment,
 		Detail:     "accepted triples attached to Freebase",

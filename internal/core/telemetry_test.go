@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"akb/internal/obs"
+	"akb/internal/resilience"
+)
+
+// TestRunContextTelemetry runs the supervised pipeline with telemetry
+// attached and checks the tracing contract end to end: every supervised
+// stage in the health report produced exactly one root span, root spans
+// start in execution order, and every span carries a real duration.
+func TestRunContextTelemetry(t *testing.T) {
+	run := obs.NewRun()
+	ctx := obs.Into(context.Background(), run)
+	res, err := RunContext(ctx, chaosConfig())
+	if err != nil {
+		t.Fatalf("pipeline failed: %v", err)
+	}
+	rr, err := run.Report(res.Health)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	roots := rr.RootSpans()
+	if len(roots) != len(res.Health.Stages) {
+		t.Fatalf("got %d root spans for %d supervised stages", len(roots), len(res.Health.Stages))
+	}
+	perStage := make(map[string]int)
+	for _, s := range roots {
+		perStage[s.Name]++
+	}
+	for i, sh := range res.Health.Stages {
+		if perStage[sh.Stage] != 1 {
+			t.Errorf("stage %s has %d root spans, want exactly 1", sh.Stage, perStage[sh.Stage])
+		}
+		// Root spans appear in execution order, matching the health report.
+		if roots[i].Name != sh.Stage {
+			t.Errorf("root span %d is %s, want %s", i, roots[i].Name, sh.Stage)
+		}
+		// The span mirrors the supervisor's verdict.
+		if got := roots[i].Attr("health"); got != sh.Health.String() {
+			t.Errorf("stage %s span health = %q, want %q", sh.Stage, got, sh.Health)
+		}
+		if got := roots[i].Attr("attempts"); got != strconv.Itoa(sh.Attempts) {
+			t.Errorf("stage %s span attempts = %q, want %d", sh.Stage, got, sh.Attempts)
+		}
+	}
+	for i, s := range rr.Spans {
+		if s.DurationNS <= 0 {
+			t.Errorf("span %s has non-positive duration", s.Name)
+		}
+		if i > 0 && s.Start.Before(rr.Spans[i-1].Start) {
+			t.Errorf("span %s starts before its predecessor %s", s.Name, rr.Spans[i-1].Name)
+		}
+	}
+
+	// Each stage ran exactly once, as one child attempt span.
+	for _, root := range roots {
+		kids := rr.Children(root.ID)
+		if len(kids) != 1 || kids[0].Name != root.Name+"/attempt" {
+			t.Errorf("stage %s children = %+v, want one attempt span", root.Name, kids)
+		}
+	}
+
+	// The domain counters flowed through the layers into the registry.
+	for _, name := range []string{
+		"akb_kbx_statements_total",
+		"akb_pipeline_statements_total",
+		"akb_fusion_claims_total",
+		"akb_fusion_truths_total",
+		"akb_resilience_stage_attempts_total",
+		"akb_mapreduce_map_tasks_total",
+	} {
+		m, ok := rr.Metric(name)
+		if !ok || m.Value <= 0 {
+			t.Errorf("metric %s missing or zero: %+v ok=%v", name, m, ok)
+		}
+	}
+	if m, ok := rr.Metric("akb_resilience_stage_seconds"); !ok || m.Count != int64(len(roots)) {
+		t.Errorf("stage seconds histogram = %+v ok=%v, want count %d", m, ok, len(roots))
+	}
+}
+
+// TestRunContextTelemetryRetries injects a transient fault into one
+// optional stage and checks the trace records the recovery: multiple
+// attempt children under a single healthy root span, plus retry and fault
+// counters.
+func TestRunContextTelemetryRetries(t *testing.T) {
+	cfg := chaosConfig()
+	// Seed 5 at 0.6 deterministically fails attempts 1 and 2 and lets
+	// attempt 3 through: the stage recovers inside its 3-attempt budget.
+	cfg.Faults = &resilience.FaultPlan{Seed: 5, Stages: map[string]resilience.StageFault{
+		StageTextX: {FailProb: 0.6, Transient: true},
+	}}
+	run := obs.NewRun()
+	res, err := RunContext(obs.Into(context.Background(), run), cfg)
+	if err != nil {
+		t.Fatalf("pipeline failed: %v", err)
+	}
+	sh, ok := res.Health.Stage(StageTextX)
+	if !ok || sh.Health != resilience.OK || sh.Attempts < 2 {
+		t.Fatalf("textx did not recover via retry: %+v", sh)
+	}
+	rr, err := run.Report(res.Health)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root obs.SpanReport
+	for _, s := range rr.RootSpans() {
+		if s.Name == StageTextX {
+			root = s
+		}
+	}
+	kids := rr.Children(root.ID)
+	if len(kids) != sh.Attempts {
+		t.Fatalf("got %d attempt spans, want %d", len(kids), sh.Attempts)
+	}
+	// Failed attempts carry the injected error; the last one is clean.
+	for i, k := range kids {
+		if k.Attr("attempt") != strconv.Itoa(i+1) {
+			t.Errorf("attempt span %d annotated %q", i, k.Attr("attempt"))
+		}
+		if last := i == len(kids)-1; last == (k.Error != "") {
+			t.Errorf("attempt %d error = %q (last=%v)", i+1, k.Error, last)
+		}
+	}
+	if m, ok := rr.Metric("akb_resilience_retries_total"); !ok || m.Value != float64(sh.Attempts-1) {
+		t.Errorf("retries counter = %+v ok=%v, want %d", m, ok, sh.Attempts-1)
+	}
+	if m, ok := rr.Metric("akb_resilience_faults_injected_total"); !ok || m.Value <= 0 {
+		t.Errorf("faults counter = %+v ok=%v", m, ok)
+	}
+}
+
+// TestRunContextWithoutTelemetry pins the no-op path: a bare context runs
+// the pipeline with telemetry fully disabled and identical results.
+func TestRunContextWithoutTelemetry(t *testing.T) {
+	cfg := chaosConfig()
+	plain, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("plain run failed: %v", err)
+	}
+	run := obs.NewRun()
+	traced, err := RunContext(obs.Into(context.Background(), run), cfg)
+	if err != nil {
+		t.Fatalf("traced run failed: %v", err)
+	}
+	if len(plain.Statements) != len(traced.Statements) || plain.Augmented.Len() != traced.Augmented.Len() {
+		t.Fatalf("telemetry changed pipeline output: %d/%d statements, %d/%d triples",
+			len(plain.Statements), len(traced.Statements), plain.Augmented.Len(), traced.Augmented.Len())
+	}
+}

@@ -48,7 +48,7 @@ func Table2(seed int64) []kbx.Table2Row {
 	w := kb.NewWorld(kb.WorldConfig{Seed: seed, EntitiesPerClass: 20, AttrsPerEntity: 16})
 	dbp := kb.GenerateDBpedia(w, kb.KBGenConfig{Seed: seed + 1, Coverage: 0.6})
 	fb := kb.GenerateFreebase(w, kb.KBGenConfig{Seed: seed + 2, Coverage: 0.8})
-	res := kbx.ExtractAttributes(confidence.Default(), dbp, fb)
+	res := kbx.ExtractAttributes(context.Background(), confidence.Default(), dbp, fb)
 	return res.Table2()
 }
 
@@ -89,7 +89,7 @@ func Table3(cfg Table3Config) []qsx.Table3Row {
 		Seed: cfg.Seed + 1, TotalRecords: total, Threshold: 5, Plans: plans,
 	})
 	idx := extract.NewEntityIndexFromWorld(w)
-	res := qsx.Extract(stream, idx, qsx.DefaultConfig(), confidence.Default())
+	res := qsx.Extract(context.Background(), stream, idx, qsx.DefaultConfig(), confidence.Default())
 	return res.Table3()
 }
 

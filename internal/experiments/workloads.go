@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -40,7 +41,7 @@ func runDOMPoint(seed int64, sitesPerClass, seedAttrs int, threshold float64) DO
 		}
 		seeds[cls] = s
 	}
-	res := domx.Extract(domx.FromWebgen(gen), idx, seeds,
+	res := domx.Extract(context.Background(), domx.FromWebgen(gen), idx, seeds,
 		domx.Config{SimilarityThreshold: threshold, MaxPasses: 3}, confidence.Default())
 
 	discovered, genuine := 0, 0

@@ -1,6 +1,7 @@
 package domx
 
 import (
+	"context"
 	"testing"
 
 	"akb/internal/confidence"
@@ -37,7 +38,7 @@ func TestDiscoverOnSiteHarvestsUnknownEntities(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.DiscoverEntities = true
-	res := Extract(FromWebgen(gen), idx, seeds, cfg, confidence.Default())
+	res := Extract(context.Background(), FromWebgen(gen), idx, seeds, cfg, confidence.Default())
 	if len(res.NewEntityFacts) == 0 {
 		t.Fatal("no new-entity facts at 50% coverage")
 	}
@@ -61,7 +62,7 @@ func TestDiscoverOnSiteHarvestsUnknownEntities(t *testing.T) {
 	}
 	// Disabled mode harvests nothing.
 	cfg.DiscoverEntities = false
-	res2 := Extract(FromWebgen(gen), idx, seeds, cfg, nil)
+	res2 := Extract(context.Background(), FromWebgen(gen), idx, seeds, cfg, nil)
 	if len(res2.NewEntityFacts) != 0 {
 		t.Error("facts harvested with discovery disabled")
 	}

@@ -15,12 +15,14 @@
 package domx
 
 import (
+	"context"
 	"sort"
 	"strings"
 
 	"akb/internal/confidence"
 	"akb/internal/extract"
 	"akb/internal/htmldom"
+	"akb/internal/obs"
 	"akb/internal/rdf"
 	"akb/internal/webgen"
 )
@@ -136,7 +138,7 @@ type claimEvidence struct {
 // Extract runs Algorithm 1 over the sites. Seeds map class name to the seed
 // attribute set extracted from the query stream and existing KBs; the passed
 // sets are cloned, never mutated.
-func Extract(sites []Site, idx *extract.EntityIndex, seeds map[string]extract.AttrSet, cfg Config, crit *confidence.Criterion) *Result {
+func Extract(ctx context.Context, sites []Site, idx *extract.EntityIndex, seeds map[string]extract.AttrSet, cfg Config, crit *confidence.Criterion) *Result {
 	if cfg.SimilarityThreshold <= 0 {
 		cfg.SimilarityThreshold = 0.9
 	}
@@ -179,6 +181,13 @@ func Extract(sites []Site, idx *extract.EntityIndex, seeds map[string]extract.At
 		}
 	}
 	res.Statements = buildStatements(claims, crit)
+	reg := obs.Reg(ctx)
+	reg.Counter("akb_domx_statements_total").Add(int64(len(res.Statements)))
+	discovered := 0
+	for _, cr := range res.PerClass {
+		discovered += cr.Discovered.Len()
+	}
+	reg.Counter("akb_domx_attrs_discovered_total").Add(int64(discovered))
 	return res
 }
 

@@ -1,6 +1,7 @@
 package domx
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -36,7 +37,7 @@ func setup(t *testing.T) (*kb.World, []Site, *extract.EntityIndex, map[string]ex
 
 func TestExtractDiscoversNewAttributes(t *testing.T) {
 	w, sites, idx, seeds := setup(t)
-	res := Extract(sites, idx, seeds, DefaultConfig(), confidence.Default())
+	res := Extract(context.Background(), sites, idx, seeds, DefaultConfig(), confidence.Default())
 	for _, cls := range w.Ontology.ClassNames() {
 		cr := res.PerClass[cls]
 		if cr == nil {
@@ -56,7 +57,7 @@ func TestExtractDiscoversNewAttributes(t *testing.T) {
 
 func TestDiscoveredAttributesAreReal(t *testing.T) {
 	w, sites, idx, seeds := setup(t)
-	res := Extract(sites, idx, seeds, DefaultConfig(), nil)
+	res := Extract(context.Background(), sites, idx, seeds, DefaultConfig(), nil)
 	for _, cls := range w.Ontology.ClassNames() {
 		class := w.Ontology.Class(cls)
 		cr := res.PerClass[cls]
@@ -77,7 +78,7 @@ func TestDiscoveredAttributesAreReal(t *testing.T) {
 
 func TestExtractStatementsQuality(t *testing.T) {
 	w, sites, idx, seeds := setup(t)
-	res := Extract(sites, idx, seeds, DefaultConfig(), confidence.Default())
+	res := Extract(context.Background(), sites, idx, seeds, DefaultConfig(), confidence.Default())
 	if len(res.Statements) == 0 {
 		t.Fatal("no statements")
 	}
@@ -108,8 +109,8 @@ func TestExtractStatementsQuality(t *testing.T) {
 
 func TestSimilarityThresholdAblation(t *testing.T) {
 	_, sites, idx, seeds := setup(t)
-	strict := Extract(sites, idx, seeds, Config{SimilarityThreshold: 0.999, MaxPasses: 3}, nil)
-	loose := Extract(sites, idx, seeds, Config{SimilarityThreshold: 0.55, MaxPasses: 3}, nil)
+	strict := Extract(context.Background(), sites, idx, seeds, Config{SimilarityThreshold: 0.999, MaxPasses: 3}, nil)
+	loose := Extract(context.Background(), sites, idx, seeds, Config{SimilarityThreshold: 0.55, MaxPasses: 3}, nil)
 	var strictN, looseN int
 	for _, cr := range strict.PerClass {
 		strictN += cr.Discovered.Len()
@@ -130,11 +131,11 @@ func TestSimilarityThresholdAblation(t *testing.T) {
 func TestSeedCapStopsGrowth(t *testing.T) {
 	_, sites, idx, seeds := setup(t)
 	cap := seeds["Film"].Len() + 2
-	res := Extract(sites, idx, seeds, Config{SimilarityThreshold: 0.9, MaxPasses: 3, SeedCap: cap}, nil)
+	res := Extract(context.Background(), sites, idx, seeds, Config{SimilarityThreshold: 0.9, MaxPasses: 3, SeedCap: cap}, nil)
 	if got := res.PerClass["Film"].All.Len(); got > cap+8 {
 		t.Errorf("Film attribute set = %d, want near cap %d", got, cap)
 	}
-	uncapped := Extract(sites, idx, seeds, DefaultConfig(), nil)
+	uncapped := Extract(context.Background(), sites, idx, seeds, DefaultConfig(), nil)
 	if uncapped.PerClass["Film"].All.Len() <= res.PerClass["Film"].All.Len() {
 		t.Error("seed cap did not reduce discovery")
 	}
@@ -143,7 +144,7 @@ func TestSeedCapStopsGrowth(t *testing.T) {
 func TestNoSeedsNoDiscovery(t *testing.T) {
 	_, sites, idx, _ := setup(t)
 	empty := map[string]extract.AttrSet{}
-	res := Extract(sites, idx, empty, DefaultConfig(), nil)
+	res := Extract(context.Background(), sites, idx, empty, DefaultConfig(), nil)
 	for cls, cr := range res.PerClass {
 		if cr.Discovered.Len() != 0 {
 			t.Errorf("%s: discovered %d attributes without seeds", cls, cr.Discovered.Len())
@@ -156,7 +157,7 @@ func TestSeedGrowthTransfersAcrossSites(t *testing.T) {
 	// same class: B can then induce patterns from pages where only that
 	// attribute (and no original seed) appears.
 	_, sites, idx, seeds := setup(t)
-	res := Extract(sites, idx, seeds, DefaultConfig(), nil)
+	res := Extract(context.Background(), sites, idx, seeds, DefaultConfig(), nil)
 	film := res.PerClass["Film"]
 	multiHost := 0
 	for _, ev := range film.Discovered {
@@ -202,8 +203,8 @@ func TestValueAfter(t *testing.T) {
 
 func TestExtractDeterministic(t *testing.T) {
 	_, sites, idx, seeds := setup(t)
-	a := Extract(sites, idx, seeds, DefaultConfig(), confidence.Default())
-	b := Extract(sites, idx, seeds, DefaultConfig(), confidence.Default())
+	a := Extract(context.Background(), sites, idx, seeds, DefaultConfig(), confidence.Default())
+	b := Extract(context.Background(), sites, idx, seeds, DefaultConfig(), confidence.Default())
 	if len(a.Statements) != len(b.Statements) {
 		t.Fatalf("statement counts differ: %d vs %d", len(a.Statements), len(b.Statements))
 	}
@@ -229,7 +230,7 @@ func TestStatementValuesComeFromPages(t *testing.T) {
 			}
 		}
 	}
-	res := Extract(sites, idx, seeds, DefaultConfig(), nil)
+	res := Extract(context.Background(), sites, idx, seeds, DefaultConfig(), nil)
 	for _, s := range res.Statements {
 		v := s.Object.Value
 		if !rendered[v] && !strings.HasSuffix(v, ":") {

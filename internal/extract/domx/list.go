@@ -1,11 +1,13 @@
 package domx
 
 import (
+	"context"
 	"sort"
 
 	"akb/internal/confidence"
 	"akb/internal/extract"
 	"akb/internal/htmldom"
+	"akb/internal/obs"
 	"akb/internal/rdf"
 	"akb/internal/webgen"
 )
@@ -69,7 +71,7 @@ type ListConfig struct {
 }
 
 // ExtractLists mines record regions from list pages.
-func ExtractLists(sites []ListSite, idx *extract.EntityIndex, cfg ListConfig, crit *confidence.Criterion) *ListResult {
+func ExtractLists(ctx context.Context, sites []ListSite, idx *extract.EntityIndex, cfg ListConfig, crit *confidence.Criterion) *ListResult {
 	if cfg.MinRecordRows <= 0 {
 		cfg.MinRecordRows = 3
 	}
@@ -166,6 +168,9 @@ func ExtractLists(sites []ListSite, idx *extract.EntityIndex, cfg ListConfig, cr
 				prov, conf))
 		}
 	}
+	reg := obs.Reg(ctx)
+	reg.Counter("akb_domx_list_records_total").Add(int64(res.Records))
+	reg.Counter("akb_domx_list_statements_total").Add(int64(len(res.Statements)))
 	return res
 }
 

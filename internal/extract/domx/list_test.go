@@ -1,6 +1,7 @@
 package domx
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -32,7 +33,7 @@ func listSetup(t *testing.T) (*kb.World, []ListSite, *extract.EntityIndex) {
 
 func TestExtractListsFindsRecords(t *testing.T) {
 	w, sites, idx := listSetup(t)
-	res := ExtractLists(sites, idx, ListConfig{}, confidence.Default())
+	res := ExtractLists(context.Background(), sites, idx, ListConfig{}, confidence.Default())
 	if res.Regions == 0 || res.Records == 0 {
 		t.Fatalf("no record regions found: %+v", res)
 	}
@@ -61,7 +62,7 @@ func TestExtractListsFindsRecords(t *testing.T) {
 
 func TestExtractListsHeaderAttrs(t *testing.T) {
 	w, sites, idx := listSetup(t)
-	res := ExtractLists(sites, idx, ListConfig{}, nil)
+	res := ExtractLists(context.Background(), sites, idx, ListConfig{}, nil)
 	for _, cls := range w.Ontology.ClassNames() {
 		set := res.HeaderAttrs[cls]
 		if set == nil || set.Len() == 0 {
@@ -84,7 +85,7 @@ func TestExtractListsIgnoresSmallTables(t *testing.T) {
 	// A two-row table is below the repetition threshold.
 	html := `<table><tr><th>Name</th><th>Director:</th></tr><tr><td>` + e + `</td><td>X</td></tr></table>`
 	sites := []ListSite{{Host: "h", Class: "Film", Pages: []ListPage{{URL: "/l", Doc: htmldom.Parse(html)}}}}
-	res := ExtractLists(sites, idx, ListConfig{MinRecordRows: 3}, nil)
+	res := ExtractLists(context.Background(), sites, idx, ListConfig{MinRecordRows: 3}, nil)
 	if res.Regions != 0 {
 		t.Errorf("small table counted as record region")
 	}
@@ -100,7 +101,7 @@ func TestExtractListsSkipsHeaderlessTables(t *testing.T) {
 	}
 	b.WriteString("</table>")
 	sites := []ListSite{{Host: "h", Class: "Film", Pages: []ListPage{{URL: "/l", Doc: htmldom.Parse(b.String())}}}}
-	res := ExtractLists(sites, idx, ListConfig{}, nil)
+	res := ExtractLists(context.Background(), sites, idx, ListConfig{}, nil)
 	if len(res.Statements) != 0 {
 		t.Error("headerless table produced statements")
 	}

@@ -7,12 +7,14 @@
 package kbx
 
 import (
+	"context"
 	"sort"
 	"strings"
 
 	"akb/internal/confidence"
 	"akb/internal/extract"
 	"akb/internal/kb"
+	"akb/internal/obs"
 	"akb/internal/rdf"
 )
 
@@ -60,7 +62,7 @@ func (r *Result) SeedSet(class string) extract.AttrSet {
 // combines their per-class attribute sets. Only surface property names are
 // consulted; canonical names are recovered by normalisation, so the
 // extraction is honest to what a real system could do.
-func ExtractAttributes(crit *confidence.Criterion, kbs ...*kb.SourceKB) *Result {
+func ExtractAttributes(ctx context.Context, crit *confidence.Criterion, kbs ...*kb.SourceKB) *Result {
 	res := &Result{PerClass: make(map[string]*ClassResult)}
 	for _, src := range kbs {
 		for class, props := range src.Properties {
@@ -88,6 +90,11 @@ func ExtractAttributes(crit *confidence.Criterion, kbs ...*kb.SourceKB) *Result 
 			crit.ScoreAttrSet(extract.ExtractorKB, cr.Combined)
 		}
 	}
+	attrs := 0
+	for _, cr := range res.PerClass {
+		attrs += cr.Combined.Len()
+	}
+	obs.Reg(ctx).Counter("akb_kbx_attrs_total").Add(int64(attrs))
 	return res
 }
 
@@ -117,7 +124,7 @@ func expandProperties(class string, src *kb.SourceKB, props []kb.Property) extra
 // ExtractStatements converts a source KB's facts into confidence-annotated
 // RDF statements for the fusion phase. Composite facts emit one statement
 // per sub-field value.
-func ExtractStatements(crit *confidence.Criterion, src *kb.SourceKB) []rdf.Statement {
+func ExtractStatements(ctx context.Context, crit *confidence.Criterion, src *kb.SourceKB) []rdf.Statement {
 	source := strings.ToLower(src.Name)
 	conf := confidence.MaxConfidence
 	if crit != nil {
@@ -154,6 +161,7 @@ func ExtractStatements(crit *confidence.Criterion, src *kb.SourceKB) []rdf.State
 			}
 		}
 	}
+	obs.Reg(ctx).Counter("akb_kbx_statements_total").Add(int64(len(out)))
 	return out
 }
 

@@ -1,6 +1,7 @@
 package kbx
 
 import (
+	"context"
 	"testing"
 
 	"akb/internal/confidence"
@@ -17,7 +18,7 @@ func setup() (*kb.World, *kb.SourceKB, *kb.SourceKB) {
 
 func TestExtractAttributesReproducesTable2(t *testing.T) {
 	_, db, fb := setup()
-	res := ExtractAttributes(confidence.Default(), db, fb)
+	res := ExtractAttributes(context.Background(), confidence.Default(), db, fb)
 	rows := res.Table2()
 	if len(rows) != 5 {
 		t.Fatalf("got %d rows, want 5", len(rows))
@@ -46,7 +47,7 @@ func TestExtractAttributesReproducesTable2(t *testing.T) {
 
 func TestExtractAttributesShapeInvariants(t *testing.T) {
 	_, db, fb := setup()
-	res := ExtractAttributes(nil, db, fb)
+	res := ExtractAttributes(context.Background(), nil, db, fb)
 	for _, cls := range res.Classes() {
 		cr := res.PerClass[cls]
 		dbe := cr.Expanded["DBpedia"].Len()
@@ -71,7 +72,7 @@ func TestExtractAttributesShapeInvariants(t *testing.T) {
 
 func TestExtractAttributesConfidence(t *testing.T) {
 	_, db, fb := setup()
-	res := ExtractAttributes(confidence.Default(), db, fb)
+	res := ExtractAttributes(context.Background(), confidence.Default(), db, fb)
 	cr := res.PerClass["Film"]
 	overlapSeen := false
 	for name, ev := range cr.Combined {
@@ -96,7 +97,7 @@ func TestExtractAttributesConfidence(t *testing.T) {
 
 func TestSeedSet(t *testing.T) {
 	_, db, fb := setup()
-	res := ExtractAttributes(nil, db, fb)
+	res := ExtractAttributes(context.Background(), nil, db, fb)
 	seeds := res.SeedSet("Book")
 	if seeds.Len() != 60 {
 		t.Fatalf("Book seed set = %d, want 60", seeds.Len())
@@ -111,7 +112,7 @@ func TestSeedSet(t *testing.T) {
 
 func TestExtractStatements(t *testing.T) {
 	w, db, _ := setup()
-	stmts := ExtractStatements(confidence.Default(), db)
+	stmts := ExtractStatements(context.Background(), confidence.Default(), db)
 	if len(stmts) == 0 {
 		t.Fatal("no statements extracted")
 	}
@@ -143,7 +144,7 @@ func TestExtractStatements(t *testing.T) {
 func TestExtractStatementsWithErrors(t *testing.T) {
 	w := kb.NewWorld(kb.WorldConfig{Seed: 6, EntitiesPerClass: 15, AttrsPerEntity: 14})
 	db := kb.GenerateDBpedia(w, kb.KBGenConfig{Seed: 6, Coverage: 0.6, ErrorRate: 0.3})
-	stmts := ExtractStatements(confidence.Default(), db)
+	stmts := ExtractStatements(context.Background(), confidence.Default(), db)
 	wrong := 0
 	for _, s := range stmts {
 		entity := extract.AttrFromIRI(s.Subject)
@@ -162,7 +163,7 @@ func TestExtractStatementsWithErrors(t *testing.T) {
 
 func TestExtractAttributesSingleKB(t *testing.T) {
 	_, db, _ := setup()
-	res := ExtractAttributes(nil, db)
+	res := ExtractAttributes(context.Background(), nil, db)
 	cr := res.PerClass["Film"]
 	if cr.Combined.Len() != cr.Expanded["DBpedia"].Len() {
 		t.Error("single-KB combine must equal that KB's expansion")

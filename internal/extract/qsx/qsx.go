@@ -8,11 +8,13 @@
 package qsx
 
 import (
+	"context"
 	"sort"
 	"strings"
 
 	"akb/internal/confidence"
 	"akb/internal/extract"
+	"akb/internal/obs"
 	"akb/internal/querystream"
 )
 
@@ -87,7 +89,7 @@ var meaningless = map[string]bool{
 // Extract scans the stream and produces per-class attribute extractions.
 // Entity recognition uses idx; classes with no recognised entities simply
 // yield empty results.
-func Extract(stream *querystream.Stream, idx *extract.EntityIndex, cfg Config, crit *confidence.Criterion) *Result {
+func Extract(ctx context.Context, stream *querystream.Stream, idx *extract.EntityIndex, cfg Config, crit *confidence.Criterion) *Result {
 	if cfg.Threshold <= 0 {
 		cfg.Threshold = 5
 	}
@@ -154,6 +156,13 @@ func Extract(stream *querystream.Stream, idx *extract.EntityIndex, cfg Config, c
 			}
 		}
 	}
+	reg := obs.Reg(ctx)
+	reg.Counter("akb_qsx_records_total").Add(int64(stream.Len()))
+	credible := 0
+	for _, cr := range res.PerClass {
+		credible += len(cr.Credible)
+	}
+	reg.Counter("akb_qsx_credible_attrs_total").Add(int64(credible))
 	return res
 }
 

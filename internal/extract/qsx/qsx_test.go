@@ -1,6 +1,7 @@
 package qsx
 
 import (
+	"context"
 	"testing"
 
 	"akb/internal/confidence"
@@ -34,7 +35,7 @@ func runExtraction(t *testing.T) (*kb.World, querystream.GenConfig, *Result) {
 	cfg := streamConfig()
 	stream := querystream.Generate(w, cfg)
 	idx := extract.NewEntityIndexFromWorld(w)
-	res := Extract(stream, idx, DefaultConfig(), confidence.Default())
+	res := Extract(context.Background(), stream, idx, DefaultConfig(), confidence.Default())
 	return w, cfg, res
 }
 
@@ -175,11 +176,11 @@ func TestMinEntitiesRule(t *testing.T) {
 		recs = append(recs, querystream.Record{Text: "what is the director of " + e, Origin: "google"})
 	}
 	stream := &querystream.Stream{Records: recs}
-	res := Extract(stream, idx, Config{Threshold: 5, MinEntities: 2}, nil)
+	res := Extract(context.Background(), stream, idx, Config{Threshold: 5, MinEntities: 2}, nil)
 	if res.PerClass["Film"].Credible.Len() != 0 {
 		t.Error("single-entity attribute passed MinEntities=2")
 	}
-	res = Extract(stream, idx, Config{Threshold: 5, MinEntities: 1}, nil)
+	res = Extract(context.Background(), stream, idx, Config{Threshold: 5, MinEntities: 1}, nil)
 	if res.PerClass["Film"].Credible.Len() != 1 {
 		t.Error("attribute should pass with MinEntities=1")
 	}
@@ -195,7 +196,7 @@ func TestExtraFilters(t *testing.T) {
 		recs = append(recs, querystream.Record{Text: "what is the director of " + e2})
 	}
 	stream := &querystream.Stream{Records: recs}
-	res := Extract(stream, idx, Config{Threshold: 5, MinEntities: 2, ExtraFilters: []string{"Director"}}, nil)
+	res := Extract(context.Background(), stream, idx, Config{Threshold: 5, MinEntities: 2, ExtraFilters: []string{"Director"}}, nil)
 	if res.PerClass["Film"].Credible.Len() != 0 {
 		t.Error("extra filter did not apply")
 	}

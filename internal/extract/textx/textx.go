@@ -16,11 +16,13 @@
 package textx
 
 import (
+	"context"
 	"sort"
 	"strings"
 
 	"akb/internal/confidence"
 	"akb/internal/extract"
+	"akb/internal/obs"
 	"akb/internal/rdf"
 	"akb/internal/webgen"
 )
@@ -102,7 +104,7 @@ type claimEvidence struct {
 
 // Extract learns patterns from seed-bearing sentences and applies them over
 // the corpus.
-func Extract(docs []*webgen.Document, idx *extract.EntityIndex, seeds map[string]extract.AttrSet, cfg Config, crit *confidence.Criterion) *Result {
+func Extract(ctx context.Context, docs []*webgen.Document, idx *extract.EntityIndex, seeds map[string]extract.AttrSet, cfg Config, crit *confidence.Criterion) *Result {
 	if cfg.MinPatternSupport <= 0 {
 		cfg.MinPatternSupport = 2
 	}
@@ -210,6 +212,9 @@ func Extract(docs []*webgen.Document, idx *extract.EntityIndex, seeds map[string
 		}
 	}
 	res.Statements = buildStatements(claims, crit)
+	reg := obs.Reg(ctx)
+	reg.Counter("akb_textx_statements_total").Add(int64(len(res.Statements)))
+	reg.Counter("akb_textx_patterns_total").Add(int64(len(res.Patterns)))
 	return res
 }
 

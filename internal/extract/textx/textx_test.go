@@ -1,6 +1,7 @@
 package textx
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -31,7 +32,7 @@ func setup(t *testing.T) (*kb.World, []*webgen.Document, *extract.EntityIndex, m
 
 func TestExtractLearnsPatterns(t *testing.T) {
 	_, docs, idx, seeds := setup(t)
-	res := Extract(docs, idx, seeds, DefaultConfig(), confidence.Default())
+	res := Extract(context.Background(), docs, idx, seeds, DefaultConfig(), confidence.Default())
 	if len(res.Patterns) == 0 {
 		t.Fatal("no patterns learned")
 	}
@@ -49,7 +50,7 @@ func TestExtractLearnsPatterns(t *testing.T) {
 
 func TestExtractDiscoversAttributes(t *testing.T) {
 	w, docs, idx, seeds := setup(t)
-	res := Extract(docs, idx, seeds, DefaultConfig(), confidence.Default())
+	res := Extract(context.Background(), docs, idx, seeds, DefaultConfig(), confidence.Default())
 	totalDiscovered := 0
 	for _, cls := range w.Ontology.ClassNames() {
 		cr := res.PerClass[cls]
@@ -71,7 +72,7 @@ func TestExtractDiscoversAttributes(t *testing.T) {
 
 func TestExtractStatementsQuality(t *testing.T) {
 	w, docs, idx, seeds := setup(t)
-	res := Extract(docs, idx, seeds, DefaultConfig(), confidence.Default())
+	res := Extract(context.Background(), docs, idx, seeds, DefaultConfig(), confidence.Default())
 	if len(res.Statements) == 0 {
 		t.Fatal("no statements")
 	}
@@ -201,7 +202,7 @@ func TestDiscoverEntitiesEndToEnd(t *testing.T) {
 	docs = append(docs, planted)
 	cfg := DefaultConfig()
 	cfg.DiscoverEntities = true
-	res := Extract(docs, idx, seeds, cfg, nil)
+	res := Extract(context.Background(), docs, idx, seeds, cfg, nil)
 	if res.NewEntities["Zanzibar Nights"] < 2 {
 		t.Errorf("new entity support = %d, want >= 2 (map: %v)", res.NewEntities["Zanzibar Nights"], res.NewEntities)
 	}
@@ -209,7 +210,7 @@ func TestDiscoverEntitiesEndToEnd(t *testing.T) {
 
 func TestMinPatternSupportFiltersRareTemplates(t *testing.T) {
 	_, docs, idx, seeds := setup(t)
-	strict := Extract(docs, idx, seeds, Config{MinPatternSupport: 100000, MaxSlotTokens: 6}, nil)
+	strict := Extract(context.Background(), docs, idx, seeds, Config{MinPatternSupport: 100000, MaxSlotTokens: 6}, nil)
 	if len(strict.Patterns) != 0 {
 		t.Errorf("impossible support threshold still learned %d patterns", len(strict.Patterns))
 	}
@@ -238,8 +239,8 @@ func TestContainsWord(t *testing.T) {
 
 func TestExtractDeterministic(t *testing.T) {
 	_, docs, idx, seeds := setup(t)
-	a := Extract(docs, idx, seeds, DefaultConfig(), confidence.Default())
-	b := Extract(docs, idx, seeds, DefaultConfig(), confidence.Default())
+	a := Extract(context.Background(), docs, idx, seeds, DefaultConfig(), confidence.Default())
+	b := Extract(context.Background(), docs, idx, seeds, DefaultConfig(), confidence.Default())
 	if len(a.Statements) != len(b.Statements) {
 		t.Fatal("statement counts differ")
 	}

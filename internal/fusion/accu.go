@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"akb/internal/mapreduce"
+	"akb/internal/obs"
 	"akb/internal/rdf"
 )
 
@@ -35,6 +36,8 @@ type Accu struct {
 	InitialAccuracy float64
 	// Workers configures map-reduce parallelism.
 	Workers int
+	// Obs optionally records executor telemetry into the registry.
+	Obs *obs.Registry
 }
 
 // Name implements Method.
@@ -81,7 +84,7 @@ func (a *Accu) Fuse(c *Claims) *Result {
 	for iter := 0; iter < iters; iter++ {
 		// E-step: per-item value probabilities given source accuracies.
 		// Items are independent — one map-reduce pass.
-		lastE = mapreduce.Run(mapreduce.Config{Workers: a.Workers}, c.Items,
+		lastE = mapreduce.Run(mapreduce.Config{Workers: a.Workers, Obs: a.Obs}, c.Items,
 			func(it *Item) []mapreduce.KV[itemProbs] {
 				return []mapreduce.KV[itemProbs]{{Key: it.Key, Value: itemProbs{item: it, probs: a.eStep(it, acc)}}}
 			},

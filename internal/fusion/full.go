@@ -2,6 +2,7 @@ package fusion
 
 import (
 	"akb/internal/hierarchy"
+	"akb/internal/obs"
 )
 
 // NewFull composes the paper's complete proposed fusion method: multi-truth
@@ -14,6 +15,9 @@ type Full struct {
 	CorrCfg CorrelationConfig
 	// Workers configures map-reduce parallelism.
 	Workers int
+	// Obs optionally records executor telemetry into the registry; it is
+	// threaded to the composed multi-truth base.
+	Obs *obs.Registry
 }
 
 // Name implements Method.
@@ -22,7 +26,7 @@ func (f *Full) Name() string { return "FULL(multi+conf+corr+hier)" }
 // Fuse implements Method.
 func (f *Full) Fuse(c *Claims) *Result {
 	corr := DetectCorrelations(c, f.CorrCfg)
-	base := &MultiTruth{Weighted: true, Discount: corr, Workers: f.Workers}
+	base := &MultiTruth{Weighted: true, Discount: corr, Workers: f.Workers, Obs: f.Obs}
 	m := &Hierarchical{Base: base, Forest: f.Forest}
 	res := m.Fuse(c)
 	res.Method = f.Name()

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"akb/internal/mapreduce"
+	"akb/internal/obs"
 	"akb/internal/rdf"
 )
 
@@ -35,6 +36,8 @@ type MultiTruth struct {
 	Iterations int
 	// Workers configures map-reduce parallelism.
 	Workers int
+	// Obs optionally records executor telemetry into the registry.
+	Obs *obs.Registry
 }
 
 // Name implements Method.
@@ -101,7 +104,7 @@ func (m *MultiTruth) Fuse(c *Claims) *Result {
 	var lastE []itemPost
 
 	for iter := 0; iter < iters; iter++ {
-		lastE = mapreduce.Run(mapreduce.Config{Workers: m.Workers}, c.Items,
+		lastE = mapreduce.Run(mapreduce.Config{Workers: m.Workers, Obs: m.Obs}, c.Items,
 			func(it *Item) []mapreduce.KV[itemPost] {
 				probs := m.eStep(it, covering[itemIdx[it.Key]], stats, prior)
 				return []mapreduce.KV[itemPost]{{Key: it.Key, Value: itemPost{item: it, probs: probs}}}

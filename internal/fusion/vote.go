@@ -2,6 +2,7 @@ package fusion
 
 import (
 	"akb/internal/mapreduce"
+	"akb/internal/obs"
 	"akb/internal/rdf"
 )
 
@@ -18,6 +19,9 @@ type Vote struct {
 	Discount *Correlations
 	// Workers configures map-reduce parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Obs optionally records executor telemetry (worker fanout, task
+	// latency, queue wait) into the registry.
+	Obs *obs.Registry
 }
 
 // Name implements Method.
@@ -37,7 +41,7 @@ func (v *Vote) Name() string {
 // Fuse implements Method. Items are independent, so the whole method is one
 // map-reduce pass keyed by item.
 func (v *Vote) Fuse(c *Claims) *Result {
-	decisions := mapreduce.Run(mapreduce.Config{Workers: v.Workers}, c.Items,
+	decisions := mapreduce.Run(mapreduce.Config{Workers: v.Workers, Obs: v.Obs}, c.Items,
 		func(it *Item) []mapreduce.KV[*Decision] {
 			return []mapreduce.KV[*Decision]{{Key: it.Key, Value: v.decide(it)}}
 		},

@@ -14,6 +14,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"akb/internal/obs"
 )
 
 // Panic wraps a panic captured inside a worker goroutine. The executor
@@ -61,6 +64,54 @@ type Config struct {
 	// Workers is the number of concurrent map (and reduce) workers;
 	// defaults to GOMAXPROCS.
 	Workers int
+	// Obs, when set, records executor telemetry into the registry: worker
+	// fanout per phase, per-task latency histograms and queue wait (time a
+	// task spends between submission and worker pickup). nil disables
+	// instrumentation with zero overhead on the hot path.
+	Obs *obs.Registry
+}
+
+// Metric names the executor emits (phase is "map" or "reduce").
+const (
+	metricFanout    = "akb_mapreduce_fanout"
+	metricQueueWait = "akb_mapreduce_queue_wait_seconds"
+)
+
+func metricTasks(phase string) string       { return "akb_mapreduce_" + phase + "_tasks_total" }
+func metricTaskSeconds(phase string) string { return "akb_mapreduce_" + phase + "_task_seconds" }
+
+// phaseObs carries the per-phase instruments, resolved once per phase so
+// workers do not hit the registry maps per task. A nil *phaseObs records
+// nothing.
+type phaseObs struct {
+	tasks *obs.Counter
+	lat   *obs.Histogram
+	wait  *obs.Histogram
+}
+
+func newPhaseObs(reg *obs.Registry, phase string, fanout int) *phaseObs {
+	if reg == nil {
+		return nil
+	}
+	reg.Histogram(metricFanout, obs.FanoutBuckets()).Observe(float64(fanout))
+	return &phaseObs{
+		tasks: reg.Counter(metricTasks(phase)),
+		lat:   reg.Histogram(metricTaskSeconds(phase), nil),
+		wait:  reg.Histogram(metricQueueWait, nil),
+	}
+}
+
+// run times one task when instrumentation is on; otherwise it just runs it.
+func (po *phaseObs) run(enqueued time.Time, fn func()) {
+	if po == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	po.wait.Observe(start.Sub(enqueued).Seconds())
+	fn()
+	po.lat.Observe(time.Since(start).Seconds())
+	po.tasks.Inc()
 }
 
 func (c Config) workers() int {
@@ -89,10 +140,16 @@ func MapPhase[I, V any](cfg Config, inputs []I, mapper func(I) []KV[V]) []KV[V] 
 	if w > len(inputs) {
 		w = len(inputs)
 	}
+	po := newPhaseObs(cfg.Obs, "map", w)
 	if w <= 1 {
 		var out []KV[V]
 		for _, in := range inputs {
-			out = append(out, mapper(in)...)
+			if po == nil {
+				out = append(out, mapper(in)...)
+				continue
+			}
+			in := in
+			po.run(time.Now(), func() { out = append(out, mapper(in)...) })
 		}
 		return out
 	}
@@ -103,26 +160,23 @@ func MapPhase[I, V any](cfg Config, inputs []I, mapper func(I) []KV[V]) []KV[V] 
 		failed atomic.Bool
 		caught *Panic
 	)
-	ch := make(chan int)
+	ch := make(chan task)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range ch {
+			for t := range ch {
 				if failed.Load() {
 					continue // a sibling panicked: drain without working
 				}
-				capture(&once, &failed, &caught, func() { results[i] = mapper(inputs[i]) })
+				i := t.index
+				po.run(t.enqueued, func() {
+					capture(&once, &failed, &caught, func() { results[i] = mapper(inputs[i]) })
+				})
 			}
 		}()
 	}
-	for i := range inputs {
-		if failed.Load() {
-			break
-		}
-		ch <- i
-	}
-	close(ch)
+	submit(ch, len(inputs), po != nil, &failed)
 	wg.Wait()
 	if caught != nil {
 		panic(caught)
@@ -132,6 +186,29 @@ func MapPhase[I, V any](cfg Config, inputs []I, mapper func(I) []KV[V]) []KV[V] 
 		out = append(out, r...)
 	}
 	return out
+}
+
+// task is one unit handed to a worker; enqueued is set only when the phase
+// is instrumented, so the uninstrumented hot path never reads the clock.
+type task struct {
+	index    int
+	enqueued time.Time
+}
+
+// submit feeds n task indices to the workers, stopping early once a worker
+// panicked.
+func submit(ch chan<- task, n int, timed bool, failed *atomic.Bool) {
+	for i := 0; i < n; i++ {
+		if failed.Load() {
+			break
+		}
+		t := task{index: i}
+		if timed {
+			t.enqueued = time.Now()
+		}
+		ch <- t
+	}
+	close(ch)
 }
 
 // Group is one shuffled key group.
@@ -166,10 +243,16 @@ func ReducePhase[V, O any](cfg Config, groups []Group[V], reducer func(key strin
 	if w > len(groups) {
 		w = len(groups)
 	}
+	po := newPhaseObs(cfg.Obs, "reduce", w)
 	if w <= 1 {
 		var out []O
 		for _, g := range groups {
-			out = append(out, reducer(g.Key, g.Values)...)
+			if po == nil {
+				out = append(out, reducer(g.Key, g.Values)...)
+				continue
+			}
+			g := g
+			po.run(time.Now(), func() { out = append(out, reducer(g.Key, g.Values)...) })
 		}
 		return out
 	}
@@ -180,26 +263,23 @@ func ReducePhase[V, O any](cfg Config, groups []Group[V], reducer func(key strin
 		failed atomic.Bool
 		caught *Panic
 	)
-	ch := make(chan int)
+	ch := make(chan task)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range ch {
+			for t := range ch {
 				if failed.Load() {
 					continue // a sibling panicked: drain without working
 				}
-				capture(&once, &failed, &caught, func() { results[i] = reducer(groups[i].Key, groups[i].Values) })
+				i := t.index
+				po.run(t.enqueued, func() {
+					capture(&once, &failed, &caught, func() { results[i] = reducer(groups[i].Key, groups[i].Values) })
+				})
 			}
 		}()
 	}
-	for i := range groups {
-		if failed.Load() {
-			break
-		}
-		ch <- i
-	}
-	close(ch)
+	submit(ch, len(groups), po != nil, &failed)
 	wg.Wait()
 	if caught != nil {
 		panic(caught)

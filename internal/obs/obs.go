@@ -1,0 +1,120 @@
+// Package obs is the pipeline's dependency-free telemetry layer: a
+// concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms), lightweight span tracing with parent/child nesting, and a
+// JSON exporter that serialises a full run — spans, metrics and the
+// caller's health report — into a machine-readable RunReport.
+//
+// Instrumented code never checks whether telemetry is enabled: every
+// accessor is nil-safe, so `obs.Reg(ctx).Counter("akb_x_total").Inc()` and
+// `ctx, span := obs.StartSpan(ctx, "stage")` are no-ops (and allocation
+// free on the metrics side) when the context carries no *Run. Metric names
+// follow the `akb_<layer>_<name>` convention (DESIGN.md §8).
+//
+// The package imports only the standard library so every layer — the
+// resilience supervisor, the mapreduce executor, the extractors, fusion
+// and the CLI — can depend on it without cycles.
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Run owns one pipeline run's telemetry: a metrics registry and a span
+// trace sharing a clock. The zero value is not usable; use NewRun.
+type Run struct {
+	reg     *Registry
+	trace   *Trace
+	started time.Time
+}
+
+// NewRun builds a telemetry run using the wall clock.
+func NewRun() *Run { return NewRunAt(time.Now) }
+
+// NewRunAt builds a telemetry run on a caller-supplied clock. Tests use a
+// fake clock so span timings — and therefore exported JSON — are exactly
+// reproducible.
+func NewRunAt(clock func() time.Time) *Run {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Run{
+		reg:     NewRegistry(),
+		trace:   &Trace{clock: clock},
+		started: clock(),
+	}
+}
+
+// Registry returns the run's metrics registry; nil-safe (a nil *Run yields
+// a nil *Registry whose methods are all no-ops).
+func (r *Run) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Trace returns the run's span trace; nil-safe.
+func (r *Run) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.trace
+}
+
+// --- context plumbing -----------------------------------------------------
+
+type runKey struct{}
+type spanKey struct{}
+
+// Into attaches a telemetry run to the context. Everything downstream that
+// uses obs.Reg or obs.StartSpan on the derived context records into run.
+func Into(ctx context.Context, run *Run) context.Context {
+	if run == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, runKey{}, run)
+}
+
+// FromContext returns the context's telemetry run, or nil when telemetry
+// is not enabled.
+func FromContext(ctx context.Context) *Run {
+	if ctx == nil {
+		return nil
+	}
+	run, _ := ctx.Value(runKey{}).(*Run)
+	return run
+}
+
+// Reg returns the context's metrics registry (nil, and therefore no-op,
+// when telemetry is off).
+func Reg(ctx context.Context) *Registry {
+	return FromContext(ctx).Registry()
+}
+
+// StartSpan opens a span named name as a child of the context's current
+// span (a root span when there is none) and returns a derived context in
+// which the new span is current. When the context carries no telemetry run
+// it returns the context unchanged and a nil span whose methods no-op.
+// Callers must End the span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	run := FromContext(ctx)
+	if run == nil {
+		return ctx, nil
+	}
+	parent := 0
+	if cur := Current(ctx); cur != nil {
+		parent = cur.id
+	}
+	span := run.trace.start(name, parent)
+	return context.WithValue(ctx, spanKey{}, span), span
+}
+
+// Current returns the context's innermost open span, or nil.
+func Current(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	span, _ := ctx.Value(spanKey{}).(*Span)
+	return span
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterBasics checks monotonic counter semantics: Inc and positive
+// Add accumulate, zero and negative deltas are ignored.
+func TestCounterBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("akb_test_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(0)
+	c.Add(-10)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if reg.Counter("akb_test_total") != c {
+		t.Fatal("repeated lookup returned a different counter instance")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	g := NewRegistry().Gauge("akb_test_gauge")
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Add(-4)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("gauge = %v, want 0", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the bucketing rule: an observation
+// lands in the first bucket whose inclusive upper bound is >= the value,
+// and values above every bound land in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("akb_test_seconds", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 3.9, 4, 5, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	m, ok := snapshotMetric(reg, "akb_test_seconds")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	// 0.5 and 1 -> le=1; 1.0000001 and 2 -> le=2; 3.9 and 4 -> le=4;
+	// 5 and 100 -> overflow.
+	want := map[float64]int64{1: 2, 2: 2, 4: 2}
+	if len(m.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want bounds %v", m.Buckets, want)
+	}
+	for _, b := range m.Buckets {
+		if want[b.LE] != b.Count {
+			t.Errorf("bucket le=%v count=%d, want %d", b.LE, b.Count, want[b.LE])
+		}
+	}
+	if m.Overflow != 2 {
+		t.Errorf("overflow = %d, want 2", m.Overflow)
+	}
+	if m.Sum != 0.5+1+1.0000001+2+3.9+4+5+100 {
+		t.Errorf("sum = %v", m.Sum)
+	}
+}
+
+// TestHistogramUnsortedBoundsAreSorted checks that bounds are copied and
+// sorted on creation, so callers can pass literals in any order.
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	reg := NewRegistry()
+	bounds := []float64{4, 1, 2}
+	h := reg.Histogram("akb_test_unsorted", bounds)
+	h.Observe(1.5)
+	m, _ := snapshotMetric(reg, "akb_test_unsorted")
+	if len(m.Buckets) != 1 || m.Buckets[0].LE != 2 {
+		t.Fatalf("observation of 1.5 landed in %+v, want le=2", m.Buckets)
+	}
+	if bounds[0] != 4 {
+		t.Fatal("caller's bounds slice was mutated")
+	}
+}
+
+// TestNilSafety exercises every method on nil receivers and a nil
+// registry: instrumented code must never branch on telemetry being on.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Counter("x").Add(3)
+	reg.Gauge("x").Set(1)
+	reg.Gauge("x").Add(1)
+	reg.Histogram("x", nil).Observe(1)
+	if reg.Counter("x").Value() != 0 || reg.Gauge("x").Value() != 0 {
+		t.Fatal("nil metrics returned non-zero values")
+	}
+	if reg.Histogram("x", nil).Count() != 0 || reg.Histogram("x", nil).Sum() != 0 {
+		t.Fatal("nil histogram returned non-zero values")
+	}
+	if got := reg.Snapshot(); len(got) != 0 {
+		t.Fatalf("nil registry snapshot = %v, want empty", got)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// creating, updating and snapshotting the same names — and relies on the
+// race detector (CI runs go test -race) to catch unsynchronised access.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				reg.Counter("akb_test_total").Inc()
+				reg.Gauge("akb_test_gauge").Add(1)
+				reg.Histogram("akb_test_seconds", FanoutBuckets()).Observe(float64(i % 10))
+				if i%100 == 0 {
+					reg.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("akb_test_total").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := reg.Gauge("akb_test_gauge").Value(); got != workers*iters {
+		t.Fatalf("gauge = %v, want %d", got, workers*iters)
+	}
+	if got := reg.Histogram("akb_test_seconds", nil).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestSnapshotSortedAndFiltered checks the export contract: metrics sort
+// by name and only non-empty histogram buckets are emitted.
+func TestSnapshotSortedAndFiltered(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("akb_z_total").Inc()
+	reg.Counter("akb_a_total").Inc()
+	reg.Histogram("akb_m_seconds", []float64{1, 2, 3}).Observe(2.5)
+	snap := reg.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name > snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+	m, _ := snapshotMetric(reg, "akb_m_seconds")
+	if len(m.Buckets) != 1 || m.Buckets[0].LE != 3 || m.Buckets[0].Count != 1 {
+		t.Fatalf("buckets = %+v, want only le=3 count=1", m.Buckets)
+	}
+}
+
+func snapshotMetric(reg *Registry, name string) (Metric, bool) {
+	for _, m := range reg.Snapshot() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}

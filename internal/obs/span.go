@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Trace collects one run's spans. Spans are appended in start order and
+// identified by 1-based ids; parent id 0 marks a root span. All methods
+// are safe for concurrent use and nil-safe.
+type Trace struct {
+	mu    sync.Mutex
+	clock func() time.Time
+	spans []*Span
+}
+
+// Span is one timed unit of work: a supervised stage, a single stage
+// attempt, or any instrumented sub-step. Spans carry ordered string
+// attributes and an error annotation. Methods are nil-safe so callers can
+// ignore whether telemetry is enabled.
+type Span struct {
+	tr     *Trace
+	id     int
+	parent int
+	name   string
+	start  time.Time
+	end    time.Time
+	ended  bool
+	attrs  map[string]string
+	err    string
+}
+
+func (t *Trace) start(name string, parent int) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{tr: t, id: len(t.spans) + 1, parent: parent, name: name, start: t.clock()}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Annotate sets a string attribute on the span.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+}
+
+// AnnotateInt sets an integer attribute on the span.
+func (s *Span) AnnotateInt(key string, n int64) {
+	s.Annotate(key, strconv.FormatInt(n, 10))
+}
+
+// RecordError annotates the span with err; a nil err is ignored.
+func (s *Span) RecordError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.err = err.Error()
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the first
+// end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if !s.ended {
+		s.end = s.tr.clock()
+		s.ended = true
+	}
+}
+
+// SpanReport is the exported form of one span. Attrs marshal with sorted
+// keys, so serialised reports are byte-stable for a fixed clock.
+type SpanReport struct {
+	ID     int       `json:"id"`
+	Parent int       `json:"parent,omitempty"`
+	Name   string    `json:"name"`
+	Start  time.Time `json:"start"`
+	// DurationNS is the span's wall time in nanoseconds; for a span still
+	// open at export time it is the time from start to the export.
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// Duration returns the span's wall time.
+func (sr SpanReport) Duration() time.Duration { return time.Duration(sr.DurationNS) }
+
+// Attr returns a span attribute ("" when absent).
+func (sr SpanReport) Attr(key string) string { return sr.Attrs[key] }
+
+// Snapshot exports every span in start order. Open spans are reported
+// with the duration accumulated so far.
+func (t *Trace) Snapshot() []SpanReport {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	out := make([]SpanReport, len(t.spans))
+	for i, s := range t.spans {
+		end := s.end
+		if !s.ended {
+			end = now
+		}
+		sr := SpanReport{
+			ID:         s.id,
+			Parent:     s.parent,
+			Name:       s.name,
+			Start:      s.start,
+			DurationNS: end.Sub(s.start).Nanoseconds(),
+			Error:      s.err,
+		}
+		if len(s.attrs) > 0 {
+			sr.Attrs = make(map[string]string, len(s.attrs))
+			for k, v := range s.attrs {
+				sr.Attrs[k] = v
+			}
+		}
+		out[i] = sr
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic clock that advances a fixed step per call,
+// so span timings (and exported JSON) are exactly reproducible.
+type fakeClock struct {
+	now  time.Time
+	step time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{
+		now:  time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		step: time.Millisecond,
+	}
+}
+
+func (c *fakeClock) Now() time.Time {
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+// TestSpanNesting walks the context plumbing end to end: a root span, a
+// child started from the root's context, and a sibling root — checking
+// parent ids, Current, and start-order ids in the snapshot.
+func TestSpanNesting(t *testing.T) {
+	run := NewRunAt(newFakeClock().Now)
+	ctx := Into(context.Background(), run)
+
+	rootCtx, root := StartSpan(ctx, "stage")
+	if Current(rootCtx) != root {
+		t.Fatal("root span is not current in its derived context")
+	}
+	childCtx, child := StartSpan(rootCtx, "stage/attempt")
+	child.AnnotateInt("attempt", 1)
+	if Current(childCtx) != child {
+		t.Fatal("child span is not current in its derived context")
+	}
+	child.End()
+	root.End()
+	// A span started from the original context is a new root, not a child
+	// of the ended stage.
+	_, sibling := StartSpan(ctx, "stage2")
+	sibling.End()
+
+	spans := run.Trace().Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "stage" || spans[0].Parent != 0 || spans[0].ID != 1 {
+		t.Fatalf("root = %+v", spans[0])
+	}
+	if spans[1].Name != "stage/attempt" || spans[1].Parent != spans[0].ID {
+		t.Fatalf("child = %+v, want parent %d", spans[1], spans[0].ID)
+	}
+	if spans[1].Attr("attempt") != "1" {
+		t.Fatalf("child attrs = %v", spans[1].Attrs)
+	}
+	if spans[2].Name != "stage2" || spans[2].Parent != 0 {
+		t.Fatalf("sibling = %+v, want a root span", spans[2])
+	}
+	for _, s := range spans {
+		if s.Duration() <= 0 {
+			t.Fatalf("span %q has non-positive duration %v", s.Name, s.Duration())
+		}
+	}
+}
+
+// TestStartSpanWithoutRun checks the disabled-telemetry path: the context
+// comes back unchanged, the span is nil, and every span method no-ops.
+func TestStartSpanWithoutRun(t *testing.T) {
+	ctx := context.Background()
+	got, span := StartSpan(ctx, "stage")
+	if got != ctx {
+		t.Fatal("context changed without a telemetry run")
+	}
+	if span != nil {
+		t.Fatal("got a span without a telemetry run")
+	}
+	span.Annotate("k", "v")
+	span.AnnotateInt("n", 1)
+	span.RecordError(errors.New("boom"))
+	span.End()
+	if Current(ctx) != nil {
+		t.Fatal("Current on a bare context is non-nil")
+	}
+	if FromContext(nil) != nil || Current(nil) != nil {
+		t.Fatal("nil context lookups are non-nil")
+	}
+}
+
+// TestSpanEndTwice checks the first End wins.
+func TestSpanEndTwice(t *testing.T) {
+	clk := newFakeClock()
+	run := NewRunAt(clk.Now)
+	_, span := StartSpan(Into(context.Background(), run), "stage")
+	span.End()
+	first := run.Trace().Snapshot()[0].DurationNS
+	clk.now = clk.now.Add(time.Hour)
+	span.End()
+	if again := run.Trace().Snapshot()[0].DurationNS; again != first {
+		t.Fatalf("second End moved duration from %d to %d", first, again)
+	}
+}
+
+// TestOpenSpanDuration checks that a snapshot reports duration-so-far for
+// spans still open at export time.
+func TestOpenSpanDuration(t *testing.T) {
+	run := NewRunAt(newFakeClock().Now)
+	_, span := StartSpan(Into(context.Background(), run), "open")
+	sr := run.Trace().Snapshot()[0]
+	if sr.Duration() <= 0 {
+		t.Fatalf("open span duration = %v, want > 0", sr.Duration())
+	}
+	span.End()
+}
+
+// TestRecordError annotates and exports the error string; nil errors are
+// ignored.
+func TestRecordError(t *testing.T) {
+	run := NewRunAt(newFakeClock().Now)
+	_, span := StartSpan(Into(context.Background(), run), "stage")
+	span.RecordError(nil)
+	span.RecordError(errors.New("stage exploded"))
+	span.End()
+	if got := run.Trace().Snapshot()[0].Error; got != "stage exploded" {
+		t.Fatalf("error = %q", got)
+	}
+}

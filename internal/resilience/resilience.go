@@ -17,6 +17,21 @@ import (
 	"fmt"
 	"hash/fnv"
 	"time"
+
+	"akb/internal/obs"
+)
+
+// Metric names the supervisor emits into the run's obs registry (all
+// no-ops when the context carries no telemetry).
+const (
+	metricAttempts     = "akb_resilience_stage_attempts_total"
+	metricRetries      = "akb_resilience_retries_total"
+	metricFaults       = "akb_resilience_faults_injected_total"
+	metricPanics       = "akb_resilience_panics_total"
+	metricStagesOK     = "akb_resilience_stages_ok_total"
+	metricStagesDeg    = "akb_resilience_stages_degraded_total"
+	metricStagesFailed = "akb_resilience_stages_failed_total"
+	metricStageSeconds = "akb_resilience_stage_seconds"
 )
 
 // Health classifies a supervised stage's outcome.
@@ -47,6 +62,30 @@ func (h Health) String() string {
 		return "skipped"
 	}
 	return fmt.Sprintf("health(%d)", int(h))
+}
+
+// MarshalJSON serialises Health as its lowercase string form ("ok",
+// "degraded", ...), so health reports embedded in RunReport JSON read
+// stably instead of as opaque enum integers.
+func (h Health) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + h.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the string forms produced by MarshalJSON.
+func (h *Health) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"ok"`:
+		*h = OK
+	case `"degraded"`:
+		*h = Degraded
+	case `"failed"`:
+		*h = Failed
+	case `"skipped"`:
+		*h = Skipped
+	default:
+		return fmt.Errorf("resilience: unknown health %s", b)
+	}
+	return nil
 }
 
 // StageError is the typed error a supervised stage surfaces: which stage,
@@ -207,9 +246,34 @@ type Supervisor struct {
 // Run executes one stage under supervision and reports its outcome. A
 // cancelled context always yields Failed (even for optional stages) with an
 // error chain containing the context error.
+//
+// When the context carries an obs telemetry run, Run opens one root span
+// per stage (annotated with health and attempt count), one child span per
+// attempt, and emits akb_resilience_* retry/fault/panic/outcome counters
+// plus a stage-duration histogram.
 func (s *Supervisor) Run(ctx context.Context, st Stage) Report {
 	rep := Report{Stage: st.Name, Health: OK}
 	start := time.Now()
+	reg := obs.Reg(ctx)
+	sctx, span := obs.StartSpan(ctx, st.Name)
+	if st.Optional {
+		span.Annotate("optional", "true")
+	}
+	finish := func() {
+		span.AnnotateInt("attempts", int64(rep.Attempts))
+		span.Annotate("health", rep.Health.String())
+		span.RecordError(rep.Err)
+		span.End()
+		reg.Histogram(metricStageSeconds, nil).Observe(rep.Duration.Seconds())
+		switch rep.Health {
+		case OK:
+			reg.Counter(metricStagesOK).Inc()
+		case Degraded:
+			reg.Counter(metricStagesDeg).Inc()
+		default:
+			reg.Counter(metricStagesFailed).Inc()
+		}
+	}
 	if s.OnStage != nil {
 		s.OnStage(st.Name)
 	}
@@ -223,13 +287,16 @@ func (s *Supervisor) Run(ctx context.Context, st Stage) Report {
 			panicValue = nil
 			break
 		}
-		err, pv := s.attempt(ctx, st, attempt)
+		reg.Counter(metricAttempts).Inc()
+		err, pv := s.attempt(sctx, st, attempt)
 		if err == nil {
 			rep.Duration = time.Since(start)
+			finish()
 			return rep
 		}
 		last, panicValue = err, pv
 		if pv != nil {
+			reg.Counter(metricPanics).Inc()
 			break // panics are bugs, not transient conditions: do not retry
 		}
 		if ctx.Err() != nil {
@@ -240,6 +307,7 @@ func (s *Supervisor) Run(ctx context.Context, st Stage) Report {
 			break
 		}
 		backoff := st.Retry.Delay(s.Seed, st.Name, attempt)
+		reg.Counter(metricRetries).Inc()
 		if s.OnRetry != nil {
 			s.OnRetry(st.Name, attempt, err, backoff)
 		}
@@ -257,27 +325,39 @@ func (s *Supervisor) Run(ctx context.Context, st Stage) Report {
 	} else {
 		rep.Health = Failed
 	}
+	finish()
 	return rep
 }
 
 // attempt runs one attempt: per-attempt deadline, fault injection, panic
 // recovery. It returns the attempt error and, for panics, the recovered
-// value.
+// value. The attempt runs under its own child span (nested inside the
+// stage span), so the stage body's instrumentation nests under it.
 func (s *Supervisor) attempt(ctx context.Context, st Stage, attempt int) (err error, panicValue any) {
-	actx := ctx
+	actx, aspan := obs.StartSpan(ctx, st.Name+"/attempt")
+	aspan.AnnotateInt("attempt", int64(attempt))
+	// Registered before the recover defer so it runs after it (LIFO) and
+	// sees the panic-derived err.
+	defer func() {
+		aspan.RecordError(err)
+		aspan.End()
+	}()
 	if st.Timeout > 0 {
 		var cancel context.CancelFunc
-		actx, cancel = context.WithTimeout(ctx, st.Timeout)
+		actx, cancel = context.WithTimeout(actx, st.Timeout)
 		defer cancel()
 	}
 	if s.Faults != nil {
 		latency, ferr := s.Faults.Inject(st.Name, attempt)
 		if latency > 0 {
+			aspan.Annotate("injected_latency", latency.String())
 			if serr := s.sleep(actx, latency); serr != nil {
 				return fmt.Errorf("injected latency interrupted: %w", serr), nil
 			}
 		}
 		if ferr != nil {
+			obs.Reg(ctx).Counter(metricFaults).Inc()
+			aspan.Annotate("injected_fault", "true")
 			return ferr, nil
 		}
 	}
