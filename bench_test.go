@@ -7,9 +7,13 @@ package akb_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"akb/internal/align"
 	"akb/internal/core"
@@ -324,5 +328,82 @@ func BenchmarkChaosDegradedPipeline(b *testing.B) {
 		if len(res.Health.Degraded()) == 0 {
 			b.Fatal("no degradation under full optional-stage faults")
 		}
+	}
+}
+
+// BenchmarkParallelPipeline measures the DAG-scheduled pipeline across
+// parallelism levels on the default config; parallel=1 is the serial
+// baseline the ISSUE-4 speedup criterion compares against. After the
+// sweep it writes the speedup trajectory to BENCH_parallel.json (next to
+// the BENCH_pipeline.json telemetry report) so CI can archive and diff
+// the scaling curve per commit.
+//
+// Results key on (GOMAXPROCS, parallelism) with last-write-wins: under
+// -cpu each sub-benchmark repeats per proc count, and with -benchtime=1x
+// the first proc count reuses the run1 trial (golang.org/issue/32051),
+// which executes at whatever GOMAXPROCS was ambient — keying on the
+// procs actually observed keeps every row honest, and the measured rerun
+// overwrites any trial taken at the wrong proc count. Run with
+// -benchtime of at least 2x when sweeping -cpu so each proc count gets a
+// real measurement.
+func BenchmarkParallelPipeline(b *testing.B) {
+	ctx := context.Background()
+	type key struct{ procs, par int }
+	nsPerOp := make(map[key]int64)
+	for _, par := range []int{1, 2, 4} {
+		par := par
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Parallelism = par
+			b.ReportAllocs()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunContext(ctx, cfg)
+				if err != nil || res.Augmented.Len() == 0 {
+					b.Fatalf("pipeline failed: %v", err)
+				}
+			}
+			nsPerOp[key{runtime.GOMAXPROCS(0), par}] = time.Since(start).Nanoseconds() / int64(b.N)
+		})
+	}
+	if len(nsPerOp) == 0 {
+		return
+	}
+	type row struct {
+		Procs       int     `json:"procs"`
+		Parallelism int     `json:"parallelism"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		Speedup     float64 `json:"speedup_vs_serial"`
+	}
+	keys := make([]key, 0, len(nsPerOp))
+	for k := range nsPerOp {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].procs != keys[j].procs {
+			return keys[i].procs < keys[j].procs
+		}
+		return keys[i].par < keys[j].par
+	})
+	rows := make([]row, 0, len(keys))
+	for _, k := range keys {
+		r := row{Procs: k.procs, Parallelism: k.par, NsPerOp: nsPerOp[k]}
+		if base := nsPerOp[key{k.procs, 1}]; base > 0 && r.NsPerOp > 0 {
+			r.Speedup = float64(base) / float64(r.NsPerOp)
+		}
+		rows = append(rows, r)
+	}
+	out := struct {
+		Rows []row `json:"rows"`
+	}{Rows: rows}
+	f, err := os.Create("BENCH_parallel.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		b.Fatal(err)
 	}
 }

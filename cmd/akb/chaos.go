@@ -105,7 +105,7 @@ func cmdChaos(args []string) error {
 	}
 	fmt.Print(eval.FormatTable(
 		[]string{"Fail rate", "Degraded", "Stages failed", "Statements", "Fusion prec", "Augmented"}, rows))
-	fmt.Println("\nMandatory stages (substrates, seeds, union, extract/kbx, fusion, augment) abort the run when faulted;")
+	fmt.Println("\nMandatory stages (the substrates/* generators, seeds, union, extract/kbx, fusion, augment) abort the run when faulted;")
 	fmt.Println("optional stages degrade it: fusion proceeds on whatever the surviving extractors produced.")
 	if *outPath != "" {
 		if err := writeJSONFile(*outPath, sweep); err != nil {

@@ -48,6 +48,7 @@ func cmdPipeline(args []string) error {
 	discover := fs.Bool("discover", false, "enable joint entity linking and discovery")
 	temporal := fs.Bool("temporal", false, "enable temporal extraction and timeline fusion")
 	lists := fs.Bool("lists", false, "enable multi-record list-page extraction")
+	parallel := fs.Int("parallel", 0, "run up to N independent stages concurrently on the DAG scheduler (0 or 1: serial); results are identical at any value")
 	reportPath := fs.String("report", "", "write a machine-readable telemetry RunReport (spans, metrics, health) to this JSON file")
 	buildFaults := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -58,6 +59,7 @@ func cmdPipeline(args []string) error {
 	cfg.DiscoverEntities = *discover
 	cfg.Temporal = *temporal
 	cfg.ListPages = *lists
+	cfg.Parallelism = *parallel
 	plan, err := buildFaults()
 	if err != nil {
 		return err

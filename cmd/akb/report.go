@@ -11,12 +11,13 @@ import (
 	"akb/internal/core"
 	"akb/internal/eval"
 	"akb/internal/obs"
+	"akb/internal/sched"
 )
 
 // cmdReport pretty-prints a telemetry RunReport written by `akb pipeline
 // -report`: a per-stage table (duration, attempts, statements, throughput)
-// derived from the root spans, the embedded health report, and the metric
-// snapshot.
+// derived from the stage spans, the embedded health report, and the
+// metric snapshot.
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ContinueOnError)
 	metricsOn := fs.Bool("metrics", true, "print the metric snapshot")
@@ -46,9 +47,9 @@ func cmdReport(args []string) error {
 		}
 	}
 
-	fmt.Println("\nPer-stage telemetry (root spans):")
+	fmt.Println("\nPer-stage telemetry:")
 	rows := make([][]string, 0)
-	for _, span := range rr.RootSpans() {
+	for _, span := range stageSpans(rr) {
 		stmts, rate := "-", "-"
 		if n, ok := stageStatements(rr, span); ok {
 			stmts = strconv.Itoa(n)
@@ -92,6 +93,22 @@ func cmdReport(args []string) error {
 		fmt.Print(eval.FormatTable([]string{"Metric", "Kind", "Value"}, mrows))
 	}
 	return nil
+}
+
+// stageSpans returns the spans that represent supervised stages. In a
+// serial run the stage spans are the roots; on the DAG scheduler
+// (`pipeline -parallel`) they nest under one root "sched" span, which is
+// unwrapped into its children so both layouts render the same table.
+func stageSpans(rr *obs.RunReport) []obs.SpanReport {
+	out := make([]obs.SpanReport, 0, len(rr.Spans))
+	for _, span := range rr.RootSpans() {
+		if span.Name == sched.SpanName {
+			out = append(out, rr.Children(span.ID)...)
+			continue
+		}
+		out = append(out, span)
+	}
+	return out
 }
 
 // stageStatements finds the stage's "statements" annotation: on the stage

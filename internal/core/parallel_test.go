@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// assertResultsEqual deep-compares the observable output of two pipeline
+// runs: statements, fusion decisions, stage stats, health, growth table
+// and the augmented store size.
+func assertResultsEqual(t *testing.T, serial, parallel *Result, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(parallel.Statements, serial.Statements) {
+		t.Errorf("%s: statements differ (%d vs %d)", label, len(parallel.Statements), len(serial.Statements))
+	}
+	if !reflect.DeepEqual(parallel.Fused.Decisions, serial.Fused.Decisions) {
+		t.Errorf("%s: fusion decisions differ", label)
+	}
+	if parallel.FusionMetrics != serial.FusionMetrics {
+		t.Errorf("%s: fusion metrics differ: %+v vs %+v", label, parallel.FusionMetrics, serial.FusionMetrics)
+	}
+	if !reflect.DeepEqual(parallel.Stages, serial.Stages) {
+		t.Errorf("%s: stage stats differ:\n par: %+v\n ser: %+v", label, parallel.Stages, serial.Stages)
+	}
+	if !reflect.DeepEqual(parallel.Health, serial.Health) {
+		t.Errorf("%s: health reports differ:\n par: %+v\n ser: %+v", label, parallel.Health, serial.Health)
+	}
+	if !reflect.DeepEqual(parallel.Growth(), serial.Growth()) {
+		t.Errorf("%s: growth tables differ", label)
+	}
+	if !reflect.DeepEqual(parallel.SeedSets, serial.SeedSets) {
+		t.Errorf("%s: seed sets differ", label)
+	}
+	if parallel.Augmented.Len() != serial.Augmented.Len() {
+		t.Errorf("%s: augmented KB differs (%d vs %d triples)", label,
+			parallel.Augmented.Len(), serial.Augmented.Len())
+	}
+}
+
+// TestPipelineParallelMatchesSerial is the determinism acceptance test:
+// the default pipeline at Parallelism GOMAXPROCS produces a Result deeply
+// equal to the strictly serial run. Run under -race in CI, it also proves
+// the concurrent stages share no unsynchronised state.
+func TestPipelineParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = 1
+	serial, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := DefaultConfig()
+	pcfg.Parallelism = runtime.GOMAXPROCS(0)
+	parallel, err := RunContext(context.Background(), pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, serial, parallel, "default config")
+}
+
+// TestPipelineParallelMatchesSerialAllFeatures exercises the full DAG:
+// list pages, temporal extraction, entity discovery and alignment all on,
+// so every conditional stage and edge is scheduled.
+func TestPipelineParallelMatchesSerialAllFeatures(t *testing.T) {
+	base := chaosConfig()
+	base.ListPages = true
+	base.Temporal = true
+	base.DiscoverEntities = true
+	base.Align = true
+
+	cfg := base
+	cfg.Parallelism = 1
+	serial, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := base
+	pcfg.Parallelism = 4
+	parallel, err := RunContext(context.Background(), pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, serial, parallel, "all features")
+	if parallel.Lists == nil || parallel.Discovered == nil || len(parallel.Timelines) == 0 {
+		t.Error("conditional stage outputs missing from parallel run")
+	}
+	if !reflect.DeepEqual(parallel.Timelines, serial.Timelines) {
+		t.Error("timelines differ between serial and parallel runs")
+	}
+	if !reflect.DeepEqual(parallel.AlignReport, serial.AlignReport) {
+		t.Error("align reports differ between serial and parallel runs")
+	}
+}
+
+// TestPipelineParallelChaosDeterministic checks fault injection composes
+// with the scheduler: the same fault seed degrades the same stages at
+// Parallelism 1 and 4, because fault decisions hash (seed, stage,
+// attempt) and never depend on execution order.
+func TestPipelineParallelChaosDeterministic(t *testing.T) {
+	run := func(par int) *Result {
+		cfg := chaosConfig()
+		cfg.Parallelism = par
+		cfg.Faults = allOptionalFaults(99, 1, false)
+		res, err := RunContext(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(4)
+	if !reflect.DeepEqual(parallel.Health.Degraded(), serial.Health.Degraded()) {
+		t.Errorf("degraded sets differ: %v vs %v", parallel.Health.Degraded(), serial.Health.Degraded())
+	}
+	assertResultsEqual(t, serial, parallel, "chaos")
+}

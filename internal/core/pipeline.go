@@ -9,10 +9,20 @@
 // The pipeline runs as named stages under an internal/resilience
 // supervisor: optional stages (query-stream, DOM, list, text, temporal
 // extraction, entity discovery, alignment) fail soft and leave the run
-// degraded but complete, while mandatory stages (substrates, KB
-// extraction, fusion, augmentation) fail hard with a wrapped *StageError.
-// Run is the legacy fault-free entry point; RunContext adds cancellation,
-// per-stage deadlines, retries and deterministic fault injection.
+// degraded but complete, while mandatory stages (the substrate
+// generators, KB extraction, fusion, augmentation) fail hard with a
+// wrapped *StageError. Run is the legacy fault-free entry point;
+// RunContext adds cancellation, per-stage deadlines, retries and
+// deterministic fault injection.
+//
+// Stages execute on the internal/sched dependency-DAG scheduler. The
+// dependency structure is a shallow DAG — the five substrate generators
+// are mutually independent after the world exists, KB and query-stream
+// extraction are independent, and the seeded extractors only join again
+// at the statement union — so Config.Parallelism > 1 runs independent
+// stages concurrently. Stage stats, health entries and every Result
+// field are assembled in the fixed topological order, making output
+// byte-identical at any parallelism.
 package core
 
 import (
@@ -20,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"akb/internal/align"
@@ -37,31 +48,43 @@ import (
 	"akb/internal/querystream"
 	"akb/internal/rdf"
 	"akb/internal/resilience"
+	"akb/internal/sched"
 	"akb/internal/temporalx"
 	"akb/internal/webgen"
 )
 
-// Supervised stage names, usable as resilience.FaultPlan keys.
+// Supervised stage names, usable as resilience.FaultPlan keys. The
+// monolithic "substrates" stage is split into the world generator plus
+// five mutually independent substrate generators so they can run
+// concurrently.
 const (
-	StageSubstrates = "substrates"
-	StageSeeds      = "seeds"
-	StageUnion      = "union"
-	StageKBX        = "extract/kbx"
-	StageQSX        = "extract/qsx"
-	StageDOMX       = "extract/domx"
-	StageLists      = "extract/lists"
-	StageTextX      = "extract/textx"
-	StageTemporal   = "extract/temporal"
-	StageDiscover   = "discover"
-	StageAlign      = "align"
-	StageFusion     = "fusion"
-	StageAugment    = "augment"
+	StageWorld    = "substrates/world"
+	StageDBpedia  = "substrates/dbpedia"
+	StageFreebase = "substrates/freebase"
+	StageStream   = "substrates/stream"
+	StageSites    = "substrates/sites"
+	StageCorpus   = "substrates/corpus"
+	StageSeeds    = "seeds"
+	StageUnion    = "union"
+	StageKBX      = "extract/kbx"
+	StageQSX      = "extract/qsx"
+	StageDOMX     = "extract/domx"
+	StageLists    = "extract/lists"
+	StageTextX    = "extract/textx"
+	StageTemporal = "extract/temporal"
+	StageDiscover = "discover"
+	StageAlign    = "align"
+	StageFusion   = "fusion"
+	StageAugment  = "augment"
 )
 
 // MandatoryStageNames lists the stages that fail the whole run: without
 // substrates, KB statements, fusion or augmentation there is no result.
 func MandatoryStageNames() []string {
-	return []string{StageSubstrates, StageKBX, StageSeeds, StageUnion, StageFusion, StageAugment}
+	return []string{
+		StageWorld, StageDBpedia, StageFreebase, StageStream, StageSites, StageCorpus,
+		StageKBX, StageSeeds, StageUnion, StageFusion, StageAugment,
+	}
 }
 
 // OptionalStageNames lists the stages that fail soft: the pipeline
@@ -117,6 +140,13 @@ type Config struct {
 	// the extracted spans into timelines.
 	Temporal bool
 
+	// Parallelism bounds how many pipeline stages execute concurrently on
+	// the dependency-DAG scheduler; <= 1 runs the stages strictly serially
+	// in the legacy order. When > 1 it also fans into the DOM and text
+	// extractors' internal worker pools (DOM.Workers / Text.Workers) unless
+	// those are set explicitly. Results are byte-identical at any value.
+	Parallelism int
+
 	// Faults optionally injects deterministic failures and latency through
 	// the resilience harness; nil runs fault-free. Keys are the Stage*
 	// constants.
@@ -128,7 +158,9 @@ type Config struct {
 	// per-stage deadlines.
 	StageTimeout time.Duration
 	// StageHook, when set, observes every supervised stage start. Used for
-	// logging and by tests to cancel mid-pipeline.
+	// logging and by tests to cancel mid-pipeline. With Parallelism > 1
+	// hooks fire from concurrent stage goroutines and must be safe for
+	// concurrent use.
 	StageHook func(stage string)
 }
 
@@ -233,10 +265,11 @@ func Run(cfg Config) *Result {
 	return res
 }
 
-// RunContext executes the pipeline as supervised stages. It returns a nil
-// Result and a wrapped *resilience.StageError when a mandatory stage fails
-// or the context is cancelled; optional-stage failures degrade the run
-// (recorded in Result.Health and the stage's StageStat) but do not error.
+// RunContext executes the pipeline as supervised stages on the dependency
+// DAG. It returns a nil Result and a wrapped *resilience.StageError when a
+// mandatory stage fails or the context is cancelled; optional-stage
+// failures degrade the run (recorded in Result.Health and the stage's
+// StageStat) but do not error.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -244,69 +277,31 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Temporal && cfg.Corpus.TemporalFacts == 0 {
 		cfg.Corpus.TemporalFacts = 6
 	}
+	if cfg.Parallelism > 1 {
+		if cfg.DOM.Workers == 0 {
+			cfg.DOM.Workers = cfg.Parallelism
+		}
+		if cfg.Text.Workers == 0 {
+			cfg.Text.Workers = cfg.Parallelism
+		}
+	}
 	p := &pipelineRun{
-		cfg:  cfg,
-		crit: confidence.Default(),
-		res:  &Result{SeedSets: make(map[string]extract.AttrSet)},
+		cfg:   cfg,
+		crit:  confidence.Default(),
+		res:   &Result{SeedSets: make(map[string]extract.AttrSet)},
+		stats: make(map[string]*StageStat),
 		sup: &resilience.Supervisor{
 			Seed:    cfg.Seed,
 			Faults:  cfg.Faults,
 			OnStage: cfg.StageHook,
 		},
 	}
-
-	// --- Knowledge extraction phase -----------------------------------
-	if err := p.runStage(ctx, StageSubstrates, mandatory, p.substrates); err != nil {
+	stages := p.stages()
+	out, err := sched.Run(ctx, sched.Options{Parallelism: cfg.Parallelism, Supervisor: p.sup}, stages)
+	if err != nil {
 		return nil, err
 	}
-	if err := p.runStage(ctx, StageKBX, mandatory, p.extractKB); err != nil {
-		return nil, err
-	}
-	if err := p.runStage(ctx, StageQSX, optional, p.extractQS); err != nil {
-		return nil, err
-	}
-	if err := p.runStage(ctx, StageSeeds, mandatory, p.buildSeeds); err != nil {
-		return nil, err
-	}
-	if err := p.runStage(ctx, StageDOMX, optional, p.extractDOM); err != nil {
-		return nil, err
-	}
-	if cfg.ListPages {
-		if err := p.runStage(ctx, StageLists, optional, p.extractLists); err != nil {
-			return nil, err
-		}
-	}
-	if err := p.runStage(ctx, StageTextX, optional, p.extractText); err != nil {
-		return nil, err
-	}
-	if err := p.runStage(ctx, StageUnion, mandatory, p.unionStatements); err != nil {
-		return nil, err
-	}
-	if cfg.Temporal {
-		if err := p.runStage(ctx, StageTemporal, optional, p.extractTemporal); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.DiscoverEntities {
-		if err := p.runStage(ctx, StageDiscover, optional, p.discoverEntities); err != nil {
-			return nil, err
-		}
-	}
-
-	// --- Knowledge fusion phase ----------------------------------------
-	if cfg.Align {
-		if err := p.runStage(ctx, StageAlign, optional, p.alignStatements); err != nil {
-			return nil, err
-		}
-	}
-	if err := p.runStage(ctx, StageFusion, mandatory, p.fuse); err != nil {
-		return nil, err
-	}
-
-	// --- KB augmentation ------------------------------------------------
-	if err := p.runStage(ctx, StageAugment, mandatory, p.augment); err != nil {
-		return nil, err
-	}
+	p.assemble(stages, out)
 	return p.res, nil
 }
 
@@ -315,13 +310,21 @@ const (
 	optional  = true
 )
 
-// pipelineRun carries the intermediates threaded between stages.
+// pipelineRun carries the intermediates threaded between stages. Each
+// intermediate is written by exactly one stage and read only by stages
+// downstream of it in the DAG, so no lock guards them; the stats map is
+// the one structure concurrent stages share.
 type pipelineRun struct {
 	cfg    Config
 	crit   *confidence.Criterion
 	res    *Result
 	sup    *resilience.Supervisor
 	scorer *eval.Scorer
+
+	// stats holds per-stage statistics keyed by scheduler stage name;
+	// assemble flattens it into Result.Stages in topological order.
+	mu    sync.Mutex
+	stats map[string]*StageStat
 
 	dbp, fb *kb.SourceKB
 	stream  *querystream.Stream
@@ -332,69 +335,164 @@ type pipelineRun struct {
 	listRes *domx.ListResult
 }
 
-// runStage supervises one stage body. Mandatory-stage failures and context
-// cancellation return the stage error; optional-stage failures record a
-// degraded StageStat plus health entry and return nil.
-func (p *pipelineRun) runStage(ctx context.Context, name string, soft bool, body func(context.Context) error) error {
+// stages builds the pipeline DAG. The list is given in the legacy serial
+// order, which is a valid topological order, so the serial scheduler path
+// (Parallelism <= 1) executes and reports stages exactly as the old
+// hand-rolled chain did. Conditional stages join the graph — and their
+// dependents' edge lists — only when their config switch is on.
+func (p *pipelineRun) stages() []sched.Stage {
 	retry := p.cfg.Retry
 	if retry == (resilience.RetryPolicy{}) {
 		retry = resilience.DefaultRetry()
 	}
-	before := len(p.res.Stages)
-	rep := p.sup.Run(ctx, resilience.Stage{
-		Name:     name,
-		Optional: soft,
-		Retry:    retry,
-		Timeout:  p.cfg.StageTimeout,
-		Run:      body,
-	})
-	sh := StageHealth{Stage: name, Health: rep.Health, Attempts: rep.Attempts, Optional: soft}
-	if rep.Err != nil {
-		sh.Err = rep.Err.Error()
-	}
-	p.res.Health.Stages = append(p.res.Health.Stages, sh)
-	switch rep.Health {
-	case resilience.OK:
-		for i := before; i < len(p.res.Stages); i++ {
-			p.res.Stages[i].Health = resilience.OK
-			p.res.Stages[i].Attempts = rep.Attempts
+	st := func(name string, soft bool, after []string, body func(context.Context) error) sched.Stage {
+		return sched.Stage{
+			Name: name, After: after, Optional: soft,
+			Retry: retry, Timeout: p.cfg.StageTimeout, Run: body,
 		}
-		return nil
-	case resilience.Degraded:
-		// Drop any stat a partially-run body appended, then record the
-		// degradation in execution order.
-		p.res.Stages = append(p.res.Stages[:before], StageStat{
-			Stage:     name,
-			Detail:    "degraded: " + sh.Err,
-			Precision: -1,
-			Health:    resilience.Degraded,
-			Err:       sh.Err,
-			Attempts:  rep.Attempts,
-		})
-		return nil
-	default:
-		return rep.Err
+	}
+	stages := []sched.Stage{
+		// --- Substrates: the world, then five independent generators ----
+		st(StageWorld, mandatory, nil, p.genWorld),
+		st(StageDBpedia, mandatory, []string{StageWorld}, p.genDBpedia),
+		st(StageFreebase, mandatory, []string{StageWorld}, p.genFreebase),
+		st(StageStream, mandatory, []string{StageWorld}, p.genStream),
+		st(StageSites, mandatory, []string{StageWorld}, p.genSites),
+		st(StageCorpus, mandatory, []string{StageWorld}, p.genCorpus),
+		// --- Knowledge extraction phase ---------------------------------
+		st(StageKBX, mandatory, []string{StageDBpedia, StageFreebase}, p.extractKB),
+		st(StageQSX, optional, []string{StageStream, StageFreebase}, p.extractQS),
+		st(StageSeeds, mandatory, []string{StageKBX, StageQSX}, p.buildSeeds),
+		st(StageDOMX, optional, []string{StageSeeds, StageSites}, p.extractDOM),
+	}
+	unionAfter := []string{StageKBX, StageDOMX, StageTextX}
+	if p.cfg.ListPages {
+		stages = append(stages, st(StageLists, optional, []string{StageFreebase}, p.extractLists))
+		unionAfter = append(unionAfter, StageLists)
+	}
+	stages = append(stages,
+		st(StageTextX, optional, []string{StageSeeds, StageCorpus}, p.extractText),
+		st(StageUnion, mandatory, unionAfter, p.unionStatements),
+	)
+	fusionAfter := []string{StageUnion}
+	if p.cfg.Temporal {
+		stages = append(stages, st(StageTemporal, optional, []string{StageCorpus, StageFreebase}, p.extractTemporal))
+	}
+	if p.cfg.DiscoverEntities {
+		// Discovery appends to the unioned statement list, so it orders
+		// strictly after union (which already waits for domx and textx).
+		stages = append(stages, st(StageDiscover, optional, []string{StageUnion}, p.discoverEntities))
+		fusionAfter = append(fusionAfter, StageDiscover)
+	}
+	// --- Knowledge fusion phase and KB augmentation ---------------------
+	if p.cfg.Align {
+		stages = append(stages, st(StageAlign, optional, fusionAfter, p.alignStatements))
+		fusionAfter = append(fusionAfter, StageAlign)
+	}
+	stages = append(stages,
+		st(StageFusion, mandatory, fusionAfter, p.fuse),
+		st(StageAugment, mandatory, []string{StageFusion}, p.augment),
+	)
+	return stages
+}
+
+// assemble converts the scheduler outcome into Result.Health and
+// Result.Stages, both in the fixed topological order. OK stages surface
+// the stat their body recorded (annotated with health and attempts);
+// degraded stages surface a synthesized degraded stat, exactly as the
+// serial pipeline reported them.
+func (p *pipelineRun) assemble(stages []sched.Stage, out *sched.Result) {
+	soft := make(map[string]bool, len(stages))
+	for _, st := range stages {
+		soft[st.Name] = st.Optional
+	}
+	for i, name := range out.Order {
+		rep := out.Reports[i]
+		sh := StageHealth{Stage: name, Health: rep.Health, Attempts: rep.Attempts, Optional: soft[name]}
+		if rep.Err != nil {
+			sh.Err = rep.Err.Error()
+		}
+		p.res.Health.Stages = append(p.res.Health.Stages, sh)
+		switch rep.Health {
+		case resilience.OK:
+			if st := p.stats[name]; st != nil {
+				st.Health = resilience.OK
+				st.Attempts = rep.Attempts
+				p.res.Stages = append(p.res.Stages, *st)
+			}
+		case resilience.Degraded:
+			// A partially-run body's stat (if any) is discarded in favour
+			// of the degradation record.
+			p.res.Stages = append(p.res.Stages, StageStat{
+				Stage:     name,
+				Detail:    "degraded: " + sh.Err,
+				Precision: -1,
+				Health:    resilience.Degraded,
+				Err:       sh.Err,
+				Attempts:  rep.Attempts,
+			})
+		}
 	}
 }
 
-// substrates generates the ground-truth world and every data source
-// derived from it.
-func (p *pipelineRun) substrates(ctx context.Context) error {
-	cfg := p.cfg
-	p.res.World = kb.NewWorld(cfg.World)
-	p.dbp = kb.GenerateDBpedia(p.res.World, cfg.DBpedia)
-	p.fb = kb.GenerateFreebase(p.res.World, cfg.Freebase)
-	if err := ctx.Err(); err != nil {
-		return err
+// setStat records one stage's statistics under its scheduler name. A
+// retried attempt overwrites its predecessor's slot, and concurrent stages
+// write distinct keys, so stats never misattribute under parallelism.
+func (p *pipelineRun) setStat(name string, st StageStat) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats[name] = &st
+}
+
+// addStat records a statement-emitting stage's stat with its precision
+// against ground truth.
+func (p *pipelineRun) addStat(name, detail string, stmts []rdf.Statement) {
+	prec := -1.0
+	if len(stmts) > 0 {
+		prec = p.scorer.ScoreStatements(stmts).Precision()
 	}
-	p.stream = querystream.Generate(p.res.World, cfg.Stream)
-	p.sites = webgen.GenerateSites(p.res.World, cfg.Sites)
-	p.corpus = webgen.GenerateCorpus(p.res.World, cfg.Corpus)
+	p.setStat(name, StageStat{Stage: name, Detail: detail, Statements: len(stmts), Precision: prec})
+}
+
+// genWorld generates the ground-truth world that every substrate derives
+// from, plus the scorer bound to it.
+func (p *pipelineRun) genWorld(context.Context) error {
+	p.res.World = kb.NewWorld(p.cfg.World)
 	p.scorer = &eval.Scorer{World: p.res.World}
-	// Entity recognition uses Freebase's covered entities, as in the paper
-	// ("each class is specified as a set of representative entities of
-	// Freebase").
+	return nil
+}
+
+// genDBpedia generates the DBpedia stand-in.
+func (p *pipelineRun) genDBpedia(context.Context) error {
+	p.dbp = kb.GenerateDBpedia(p.res.World, p.cfg.DBpedia)
+	return nil
+}
+
+// genFreebase generates the Freebase stand-in and the entity index derived
+// from it. Entity recognition uses Freebase's covered entities, as in the
+// paper ("each class is specified as a set of representative entities of
+// Freebase").
+func (p *pipelineRun) genFreebase(context.Context) error {
+	p.fb = kb.GenerateFreebase(p.res.World, p.cfg.Freebase)
 	p.entIdx = extract.NewEntityIndex(p.fb)
+	return nil
+}
+
+// genStream generates the query stream.
+func (p *pipelineRun) genStream(context.Context) error {
+	p.stream = querystream.Generate(p.res.World, p.cfg.Stream)
+	return nil
+}
+
+// genSites generates the synthetic entity websites.
+func (p *pipelineRun) genSites(context.Context) error {
+	p.sites = webgen.GenerateSites(p.res.World, p.cfg.Sites)
+	return nil
+}
+
+// genCorpus generates the synthetic text corpus.
+func (p *pipelineRun) genCorpus(context.Context) error {
+	p.corpus = webgen.GenerateCorpus(p.res.World, p.cfg.Corpus)
 	return nil
 }
 
@@ -405,7 +503,7 @@ func (p *pipelineRun) extractKB(ctx context.Context) error {
 	res.KBX = kbx.ExtractAttributes(ctx, p.crit, p.dbp, p.fb)
 	p.kbStmts = append(kbx.ExtractStatements(ctx, p.crit, p.dbp), kbx.ExtractStatements(ctx, p.crit, p.fb)...)
 	obs.Current(ctx).AnnotateInt("statements", int64(len(p.kbStmts)))
-	res.addStage(p.scorer, StageKBX, fmt.Sprintf("%d classes combined", len(res.KBX.PerClass)), p.kbStmts)
+	p.addStat(StageKBX, fmt.Sprintf("%d classes combined", len(res.KBX.PerClass)), p.kbStmts)
 	return nil
 }
 
@@ -433,7 +531,7 @@ func (p *pipelineRun) extractQS(ctx context.Context) error {
 	}
 	res.QSX = qres
 	obs.Current(ctx).AnnotateInt("statements", int64(credible))
-	res.Stages = append(res.Stages, StageStat{
+	p.setStat(StageQSX, StageStat{
 		Stage:      StageQSX,
 		Detail:     fmt.Sprintf("%d records scanned, %d credible attrs", p.stream.Len(), credible),
 		Statements: credible,
@@ -470,7 +568,7 @@ func (p *pipelineRun) extractDOM(ctx context.Context) error {
 	}
 	res.DOMX = domx.Extract(ctx, domx.FromWebgen(p.sites), p.entIdx, res.SeedSets, dcfg, p.crit)
 	obs.Current(ctx).AnnotateInt("statements", int64(len(res.DOMX.Statements)))
-	res.addStage(p.scorer, StageDOMX,
+	p.addStat(StageDOMX,
 		fmt.Sprintf("%d sites, %d discovered attrs", len(p.sites), totalDiscoveredDOM(res.DOMX)), res.DOMX.Statements)
 	return nil
 }
@@ -495,7 +593,7 @@ func (p *pipelineRun) extractLists(ctx context.Context) error {
 	if len(unknown) > 0 {
 		detail += fmt.Sprintf(", %d unknown host(s) skipped", len(unknown))
 	}
-	res.addStage(p.scorer, StageLists, detail, listRes.Statements)
+	p.addStat(StageLists, detail, listRes.Statements)
 	return nil
 }
 
@@ -508,7 +606,7 @@ func (p *pipelineRun) extractText(ctx context.Context) error {
 	}
 	res.TextX = textx.Extract(ctx, p.corpus, p.entIdx, res.SeedSets, tcfg, p.crit)
 	obs.Current(ctx).AnnotateInt("statements", int64(len(res.TextX.Statements)))
-	res.addStage(p.scorer, StageTextX,
+	p.addStat(StageTextX,
 		fmt.Sprintf("%d docs, %d patterns", len(p.corpus), len(res.TextX.Patterns)), res.TextX.Statements)
 	return nil
 }
@@ -548,7 +646,7 @@ func (p *pipelineRun) extractTemporal(ctx context.Context) error {
 		prec = float64(correct) / float64(total)
 	}
 	res.Timelines = timelines
-	res.Stages = append(res.Stages, StageStat{
+	p.setStat(StageTemporal, StageStat{
 		Stage:      StageTemporal,
 		Detail:     fmt.Sprintf("%d statements, %d timelines", len(tStmts), len(timelines)),
 		Statements: len(tStmts),
@@ -573,7 +671,7 @@ func (p *pipelineRun) discoverEntities(ctx context.Context) error {
 	res.Statements = append(res.Statements, discStmts...)
 	obs.Reg(ctx).Counter("akb_discover_entities_total").Add(int64(len(res.Discovered.Entities)))
 	obs.Current(ctx).AnnotateInt("statements", int64(len(discStmts)))
-	res.addStage(p.scorer, StageDiscover,
+	p.addStat(StageDiscover,
 		fmt.Sprintf("%d new entities, %d mentions linked, %d rejected",
 			len(res.Discovered.Entities), len(res.Discovered.Linked), res.Discovered.Rejected),
 		discStmts)
@@ -592,7 +690,7 @@ func (p *pipelineRun) alignStatements(ctx context.Context) error {
 	res.AlignReport = &rep
 	obs.Reg(ctx).Counter("akb_align_corrections_total").Add(int64(rep.CorrectedValues))
 	obs.Current(ctx).AnnotateInt("statements", int64(len(res.Statements)))
-	res.Stages = append(res.Stages, StageStat{
+	p.setStat(StageAlign, StageStat{
 		Stage: StageAlign,
 		Detail: fmt.Sprintf("%d synonyms merged, %d values corrected, %d sub-attrs",
 			len(rep.Synonyms), rep.CorrectedValues, len(rep.SubAttributes)),
@@ -629,7 +727,9 @@ func (p *pipelineRun) fuse(ctx context.Context) error {
 	reg.Counter("akb_fusion_conflicts_total").Add(int64(conflicts))
 	reg.Counter("akb_fusion_truths_total").Add(int64(truths))
 	obs.Current(ctx).AnnotateInt("statements", int64(claims.NumClaims()))
-	res.Stages = append(res.Stages, StageStat{
+	// The stat slot is keyed by the scheduler name; the rendered stage
+	// label carries the fusion method, as it always has.
+	p.setStat(StageFusion, StageStat{
 		Stage:      "fusion/" + res.Fused.Method,
 		Detail:     fmt.Sprintf("%d items, %d sources", len(claims.Items), len(claims.SourceNames)),
 		Statements: claims.NumClaims(),
@@ -649,7 +749,7 @@ func (p *pipelineRun) augment(ctx context.Context) error {
 	}
 	obs.Reg(ctx).Counter("akb_pipeline_augmented_triples_total").Add(int64(res.Augmented.Len()))
 	obs.Current(ctx).AnnotateInt("statements", int64(res.Augmented.Len()))
-	res.Stages = append(res.Stages, StageStat{
+	p.setStat(StageAugment, StageStat{
 		Stage:      StageAugment,
 		Detail:     "accepted triples attached to Freebase",
 		Statements: res.Augmented.Len(),
@@ -689,14 +789,6 @@ func splitHostsByClass(lists map[string][]*webgen.ListPage, classOf func(string)
 	}
 	sort.Strings(unknown)
 	return known, unknown
-}
-
-func (r *Result) addStage(scorer *eval.Scorer, stage, detail string, stmts []rdf.Statement) {
-	prec := -1.0
-	if len(stmts) > 0 {
-		prec = scorer.ScoreStatements(stmts).Precision()
-	}
-	r.Stages = append(r.Stages, StageStat{Stage: stage, Detail: detail, Statements: len(stmts), Precision: prec})
 }
 
 func totalDiscoveredDOM(r *domx.Result) int {

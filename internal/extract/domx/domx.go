@@ -22,6 +22,7 @@ import (
 	"akb/internal/confidence"
 	"akb/internal/extract"
 	"akb/internal/htmldom"
+	"akb/internal/mapreduce"
 	"akb/internal/obs"
 	"akb/internal/rdf"
 	"akb/internal/webgen"
@@ -73,6 +74,13 @@ type Config struct {
 	// recognised pages (an extension of Algorithm 1 towards the paper's
 	// joint entity-linking-and-discovery goal).
 	DiscoverEntities bool
+	// Workers bounds intra-extractor parallelism. Algorithm 1's seed set
+	// grows monotonically across the sites of one class, so sites cannot
+	// be processed independently — but classes can: sites are sharded by
+	// class, each shard runs serially in input order, and shards execute
+	// concurrently. Results merge deterministically, so output is
+	// byte-identical at any worker count. <= 1 runs fully serial.
+	Workers int
 }
 
 // DefaultConfig returns the standard configuration.
@@ -135,6 +143,71 @@ type claimEvidence struct {
 	provs []rdf.Provenance
 }
 
+// shard is the unit of domx parallelism: all sites of one class, kept in
+// input order, plus their original input indices so per-site output can be
+// reassembled in the serial order.
+type shard struct {
+	class   string
+	sites   []Site
+	indices []int
+}
+
+// shardOut is one shard's complete, self-contained extraction state.
+type shardOut struct {
+	cr     *ClassResult
+	claims map[claim]*claimEvidence
+	// facts is aligned with shard.sites: the entity facts each site
+	// produced, in that site's generation order.
+	facts [][]EntityFact
+}
+
+// shardByClass groups sites by class in class-first-appearance order.
+func shardByClass(sites []Site) []shard {
+	at := make(map[string]int)
+	var out []shard
+	for i, s := range sites {
+		j, ok := at[s.Class]
+		if !ok {
+			j = len(out)
+			at[s.Class] = j
+			out = append(out, shard{class: s.Class})
+		}
+		out[j].sites = append(out[j].sites, s)
+		out[j].indices = append(out[j].indices, i)
+	}
+	return out
+}
+
+// runShard executes Algorithm 1 serially over one class's sites. All
+// mutable state (attribute set, claims, dedup keys) is shard-local:
+// entities resolve to exactly one class, so no claim, host, or attribute
+// set is ever shared between shards.
+func runShard(sh shard, idx *extract.EntityIndex, seeds map[string]extract.AttrSet, cfg Config) shardOut {
+	seedSet := extract.NewAttrSet()
+	if s, ok := seeds[sh.class]; ok {
+		seedSet = s.Clone()
+	}
+	out := shardOut{
+		cr: &ClassResult{
+			Class:       sh.class,
+			All:         seedSet,
+			Discovered:  extract.NewAttrSet(),
+			patternSet:  make(map[string]struct{}),
+			entityPaths: make(map[string]struct{}),
+		},
+		claims: make(map[claim]*claimEvidence),
+		facts:  make([][]EntityFact, len(sh.sites)),
+	}
+	seen := make(map[string]struct{}) // attr|host|url dedup for support counts
+	for i, site := range sh.sites {
+		if cfg.SeedCap > 0 && out.cr.All.Len() >= cfg.SeedCap {
+			continue
+		}
+		out.facts[i] = extractSite(site, idx, out.cr, cfg, out.claims, seen)
+	}
+	return out
+}
+
 // Extract runs Algorithm 1 over the sites. Seeds map class name to the seed
 // attribute set extracted from the query stream and existing KBs; the passed
 // sets are cloned, never mutated.
@@ -149,29 +222,27 @@ func Extract(ctx context.Context, sites []Site, idx *extract.EntityIndex, seeds 
 		cfg.Step = htmldom.QualifiedStep
 	}
 	res := &Result{PerClass: make(map[string]*ClassResult)}
+	shards := shardByClass(sites)
+	outs := mapreduce.MapPhase(mapreduce.Config{Workers: max(cfg.Workers, 1), Obs: obs.Reg(ctx)},
+		shards, func(sh shard) []mapreduce.KV[shardOut] {
+			return []mapreduce.KV[shardOut]{{Key: sh.class, Value: runShard(sh, idx, seeds, cfg)}}
+		})
 	claims := make(map[claim]*claimEvidence)
-	seen := make(map[string]struct{}) // attr|host|url dedup for support counts
-
-	for _, site := range sites {
-		cr := res.PerClass[site.Class]
-		if cr == nil {
-			seedSet := extract.NewAttrSet()
-			if s, ok := seeds[site.Class]; ok {
-				seedSet = s.Clone()
-			}
-			cr = &ClassResult{
-				Class:       site.Class,
-				All:         seedSet,
-				Discovered:  extract.NewAttrSet(),
-				patternSet:  make(map[string]struct{}),
-				entityPaths: make(map[string]struct{}),
-			}
-			res.PerClass[site.Class] = cr
+	factsBySite := make([][]EntityFact, len(sites))
+	for s, kv := range outs { // outs[s] aligns with shards[s]
+		out := kv.Value
+		res.PerClass[out.cr.Class] = out.cr
+		for c, ev := range out.claims {
+			claims[c] = ev // disjoint: a claim's entity belongs to one class
 		}
-		if cfg.SeedCap > 0 && cr.All.Len() >= cfg.SeedCap {
-			continue
+		for k, fs := range out.facts {
+			factsBySite[shards[s].indices[k]] = fs
 		}
-		extractSite(site, idx, cr, cfg, claims, seen, res)
+	}
+	// Reassembling facts by original site index reproduces the serial
+	// site-by-site append order exactly.
+	for _, fs := range factsBySite {
+		res.NewEntityFacts = append(res.NewEntityFacts, fs...)
 	}
 	for _, cr := range res.PerClass {
 		cr.InducedPatterns = len(cr.patternSet)
@@ -191,7 +262,7 @@ func Extract(ctx context.Context, sites []Site, idx *extract.EntityIndex, seeds 
 	return res
 }
 
-func extractSite(site Site, idx *extract.EntityIndex, cr *ClassResult, cfg Config, claims map[claim]*claimEvidence, seen map[string]struct{}, res *Result) {
+func extractSite(site Site, idx *extract.EntityIndex, cr *ClassResult, cfg Config, claims map[claim]*claimEvidence, seen map[string]struct{}) []EntityFact {
 	type pageState struct {
 		page    Page
 		entity  string
@@ -214,7 +285,7 @@ func extractSite(site Site, idx *extract.EntityIndex, cr *ClassResult, cfg Confi
 		grew := false
 		for _, st := range states {
 			if cfg.SeedCap > 0 && cr.All.Len() >= cfg.SeedCap {
-				return
+				return nil
 			}
 			if extractPage(site, st.page, st.entity, st.eNode, st.texts, cr, cfg, claims, seen, &st.counted) {
 				grew = true
@@ -225,8 +296,9 @@ func extractSite(site Site, idx *extract.EntityIndex, cr *ClassResult, cfg Confi
 		}
 	}
 	if cfg.DiscoverEntities {
-		discoverOnSite(site, unknown, cr, cfg, res)
+		return discoverOnSite(site, unknown, cr, cfg)
 	}
+	return nil
 }
 
 // discoverOnSite proposes new entities from pages whose entity node matched
@@ -234,10 +306,11 @@ func extractSite(site Site, idx *extract.EntityIndex, cr *ClassResult, cfg Confi
 // pattern set. Site templates keep label paths regular across pages, which
 // is what makes cross-page pattern application sound here even though
 // Algorithm 1 proper induces patterns per page.
-func discoverOnSite(site Site, unknown []Page, cr *ClassResult, cfg Config, res *Result) {
+func discoverOnSite(site Site, unknown []Page, cr *ClassResult, cfg Config) []EntityFact {
 	if len(cr.patternSet) == 0 {
-		return
+		return nil
 	}
+	var facts []EntityFact
 	sitePatterns := make([]htmldom.TagPath, 0, len(cr.patternSet))
 	for _, st := range sortedPatternKeys(cr.patternSet) {
 		sitePatterns = append(sitePatterns, parsePatternKey(st))
@@ -277,12 +350,13 @@ func discoverOnSite(site Site, unknown []Page, cr *ClassResult, cfg Config, res 
 			if value == "" {
 				continue
 			}
-			res.NewEntityFacts = append(res.NewEntityFacts, EntityFact{
+			facts = append(facts, EntityFact{
 				Name: name, Class: site.Class, Attr: label, Value: value,
 				Source: site.Host, Doc: p.URL,
 			})
 		}
 	}
+	return facts
 }
 
 // pathSignature renders a text node's qualified element path to the root,

@@ -2,6 +2,7 @@ package domx
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -235,6 +236,37 @@ func TestStatementValuesComeFromPages(t *testing.T) {
 		v := s.Object.Value
 		if !rendered[v] && !strings.HasSuffix(v, ":") {
 			t.Errorf("extracted value %q never rendered on any page", v)
+		}
+	}
+}
+
+// TestParallelMatchesSerial pins the determinism contract of per-class
+// sharding: any worker count yields byte-identical results, including
+// entity discovery output order.
+func TestParallelMatchesSerial(t *testing.T) {
+	_, sites, idx, seeds := setup(t)
+	cfg := DefaultConfig()
+	cfg.DiscoverEntities = true
+	serial := Extract(context.Background(), sites, idx, seeds, cfg, confidence.Default())
+	for _, workers := range []int{2, 8} {
+		pcfg := cfg
+		pcfg.Workers = workers
+		par := Extract(context.Background(), sites, idx, seeds, pcfg, confidence.Default())
+		if !reflect.DeepEqual(par.Statements, serial.Statements) {
+			t.Errorf("workers=%d: statements differ from serial", workers)
+		}
+		if !reflect.DeepEqual(par.NewEntityFacts, serial.NewEntityFacts) {
+			t.Errorf("workers=%d: entity facts differ from serial", workers)
+		}
+		if !reflect.DeepEqual(par.Classes(), serial.Classes()) {
+			t.Fatalf("workers=%d: classes differ", workers)
+		}
+		for cls, scr := range serial.PerClass {
+			pcr := par.PerClass[cls]
+			if pcr.All.Len() != scr.All.Len() || pcr.Discovered.Len() != scr.Discovered.Len() ||
+				pcr.PagesUsed != scr.PagesUsed || pcr.InducedPatterns != scr.InducedPatterns {
+				t.Errorf("workers=%d: class %s result differs from serial", workers, cls)
+			}
 		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 
 	"akb/internal/confidence"
 	"akb/internal/extract"
+	"akb/internal/mapreduce"
 	"akb/internal/obs"
 	"akb/internal/rdf"
 	"akb/internal/webgen"
@@ -52,6 +53,12 @@ type Config struct {
 	// DiscoverEntities also records candidate new entities: well-formed
 	// matches whose ⟨E⟩ binding is capitalised but unknown to the index.
 	DiscoverEntities bool
+	// Workers bounds intra-extractor parallelism. Template learning is a
+	// per-document count aggregation and template application is pure per
+	// document given the learned templates, so both phases run through the
+	// mapreduce executor; match events are replayed in document order, so
+	// output is byte-identical at any worker count. <= 1 runs serially.
+	Workers int
 }
 
 // DefaultConfig returns the standard configuration.
@@ -96,6 +103,13 @@ func (r *Result) Classes() []string {
 
 type claim struct{ entity, attr, value string }
 
+// matchEvent is one template match captured during the parallel map of
+// phase 2; entity == "" marks an unknown-entity candidate. Events replay
+// serially in document order.
+type matchEvent struct {
+	class, entity, rawEntity, attr, value, source, doc string
+}
+
 type claimEvidence struct {
 	count   int
 	sources map[string]struct{}
@@ -117,10 +131,13 @@ func Extract(ctx context.Context, docs []*webgen.Document, idx *extract.EntityIn
 	}
 
 	// Phase 1: learn templates from sentences containing a known entity and
-	// a seed attribute.
-	templateSupport := map[string]int{}
+	// a seed attribute. Support counting is additive per document, so it is
+	// a true map-shuffle job; the attribute sets are only read here.
+	mrCfg := mapreduce.Config{Workers: max(cfg.Workers, 1), Obs: obs.Reg(ctx)}
 	entityNames := idx.Names()
-	for _, doc := range docs {
+	templateSupport := map[string]int{}
+	seedSents := mapreduce.MapPhase(mrCfg, docs, func(doc *webgen.Document) []mapreduce.KV[int] {
+		var out []mapreduce.KV[int]
 		for _, sent := range SplitSentences(doc.Text) {
 			e := findEntity(sent, entityNames)
 			if e == "" {
@@ -136,9 +153,13 @@ func Extract(ctx context.Context, docs []*webgen.Document, idx *extract.EntityIn
 				continue
 			}
 			if tmpl, ok := abstractSentence(sent, e, attr); ok {
-				templateSupport[tmpl]++
+				out = append(out, mapreduce.KV[int]{Key: tmpl, Value: 1})
 			}
 		}
+		return out
+	})
+	for _, g := range mapreduce.Shuffle(seedSents) {
+		templateSupport[g.Key] = len(g.Values)
 	}
 	var templates []template
 	for tmpl, n := range templateSupport {
@@ -156,9 +177,14 @@ func Extract(ctx context.Context, docs []*webgen.Document, idx *extract.EntityIn
 	})
 	sort.Slice(templates, func(i, j int) bool { return templates[i].canon < templates[j].canon })
 
-	// Phase 2: apply templates across the corpus.
-	claims := make(map[claim]*claimEvidence)
-	for _, doc := range docs {
+	// Phase 2: apply templates across the corpus. Matching never reads the
+	// growing attribute sets (cr.All only gates whether a matched attribute
+	// counts as a discovery), so each document is matched independently and
+	// the resulting events are replayed in document order — byte-identical
+	// to the serial pass. res.PerClass is read-only during mapping: only
+	// key existence is consulted, and keys are fixed at construction.
+	events := mapreduce.MapPhase(mrCfg, docs, func(doc *webgen.Document) []mapreduce.KV[matchEvent] {
+		var out []mapreduce.KV[matchEvent]
 		for _, sent := range SplitSentences(doc.Text) {
 			toks := TokenizeSentence(sent)
 			for _, tmpl := range templates {
@@ -169,40 +195,56 @@ func Extract(ctx context.Context, docs []*webgen.Document, idx *extract.EntityIn
 				if b.entity == "" {
 					// Unknown-entity candidate (new entity creation).
 					if cfg.DiscoverEntities && b.rawEntity != "" {
-						res.NewEntities[b.rawEntity]++
-						res.NewEntityFacts = append(res.NewEntityFacts, extract.EntityFact{
-							Name: b.rawEntity, Class: doc.Class,
-							Attr: extract.NormalizeLabel(b.attr), Value: b.value,
-							Source: doc.Source, Doc: doc.ID,
-						})
+						out = append(out, mapreduce.KV[matchEvent]{Value: matchEvent{
+							class: doc.Class, rawEntity: b.rawEntity,
+							attr: b.attr, value: b.value, source: doc.Source, doc: doc.ID,
+						}})
 					}
 					continue
 				}
 				class, _ := idx.Class(b.entity)
-				cr := res.PerClass[class]
-				if cr == nil {
+				if res.PerClass[class] == nil {
 					continue
 				}
-				attr := extract.NormalizeLabel(b.attr)
-				if !cr.All.Has(attr) {
-					cr.Discovered.Add(attr, doc.Source)
-					cr.All.Add(attr, doc.Source)
-				}
-				c := claim{entity: b.entity, attr: attr, value: b.value}
-				ev := claims[c]
-				if ev == nil {
-					ev = &claimEvidence{sources: make(map[string]struct{})}
-					claims[c] = ev
-				}
-				ev.count++
-				if _, dup := ev.sources[doc.Source]; !dup {
-					ev.sources[doc.Source] = struct{}{}
-					ev.provs = append(ev.provs, rdf.Provenance{
-						Source: doc.Source, Extractor: extract.ExtractorText, Document: doc.ID,
-					})
-				}
+				out = append(out, mapreduce.KV[matchEvent]{Value: matchEvent{
+					class: class, entity: b.entity,
+					attr: b.attr, value: b.value, source: doc.Source, doc: doc.ID,
+				}})
 				break // one match per sentence
 			}
+		}
+		return out
+	})
+	claims := make(map[claim]*claimEvidence)
+	for _, kv := range events {
+		ev := kv.Value
+		if ev.entity == "" {
+			res.NewEntities[ev.rawEntity]++
+			res.NewEntityFacts = append(res.NewEntityFacts, extract.EntityFact{
+				Name: ev.rawEntity, Class: ev.class,
+				Attr: extract.NormalizeLabel(ev.attr), Value: ev.value,
+				Source: ev.source, Doc: ev.doc,
+			})
+			continue
+		}
+		cr := res.PerClass[ev.class]
+		attr := extract.NormalizeLabel(ev.attr)
+		if !cr.All.Has(attr) {
+			cr.Discovered.Add(attr, ev.source)
+			cr.All.Add(attr, ev.source)
+		}
+		c := claim{entity: ev.entity, attr: attr, value: ev.value}
+		cev := claims[c]
+		if cev == nil {
+			cev = &claimEvidence{sources: make(map[string]struct{})}
+			claims[c] = cev
+		}
+		cev.count++
+		if _, dup := cev.sources[ev.source]; !dup {
+			cev.sources[ev.source] = struct{}{}
+			cev.provs = append(cev.provs, rdf.Provenance{
+				Source: ev.source, Extractor: extract.ExtractorText, Document: ev.doc,
+			})
 		}
 	}
 	if crit != nil {

@@ -2,6 +2,7 @@ package textx
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -247,6 +248,39 @@ func TestExtractDeterministic(t *testing.T) {
 	for i := range a.Statements {
 		if a.Statements[i].String() != b.Statements[i].String() {
 			t.Fatalf("statement %d differs", i)
+		}
+	}
+}
+
+// TestParallelMatchesSerial pins the determinism contract of per-document
+// parallelism: any worker count yields byte-identical results, including
+// pattern order, statements, and discovery output.
+func TestParallelMatchesSerial(t *testing.T) {
+	_, docs, idx, seeds := setup(t)
+	cfg := DefaultConfig()
+	cfg.DiscoverEntities = true
+	serial := Extract(context.Background(), docs, idx, seeds, cfg, confidence.Default())
+	for _, workers := range []int{2, 8} {
+		pcfg := cfg
+		pcfg.Workers = workers
+		par := Extract(context.Background(), docs, idx, seeds, pcfg, confidence.Default())
+		if !reflect.DeepEqual(par.Patterns, serial.Patterns) {
+			t.Errorf("workers=%d: patterns differ from serial", workers)
+		}
+		if !reflect.DeepEqual(par.Statements, serial.Statements) {
+			t.Errorf("workers=%d: statements differ from serial", workers)
+		}
+		if !reflect.DeepEqual(par.NewEntities, serial.NewEntities) {
+			t.Errorf("workers=%d: new entities differ from serial", workers)
+		}
+		if !reflect.DeepEqual(par.NewEntityFacts, serial.NewEntityFacts) {
+			t.Errorf("workers=%d: entity facts differ from serial", workers)
+		}
+		for cls, scr := range serial.PerClass {
+			pcr := par.PerClass[cls]
+			if !reflect.DeepEqual(pcr.All, scr.All) || !reflect.DeepEqual(pcr.Discovered, scr.Discovered) {
+				t.Errorf("workers=%d: class %s attribute sets differ from serial", workers, cls)
+			}
 		}
 	}
 }

@@ -181,7 +181,18 @@ func MapPhase[I, V any](cfg Config, inputs []I, mapper func(I) []KV[V]) []KV[V] 
 	if caught != nil {
 		panic(caught)
 	}
-	var out []KV[V]
+	return concat(results)
+}
+
+// concat flattens per-input result slices into one exactly-sized slice:
+// summing lengths first avoids the repeated grow-and-copy of appending
+// into an unsized accumulator on the hot path.
+func concat[T any](results [][]T) []T {
+	n := 0
+	for _, r := range results {
+		n += len(r)
+	}
+	out := make([]T, 0, n)
 	for _, r := range results {
 		out = append(out, r...)
 	}
@@ -218,20 +229,34 @@ type Group[V any] struct {
 }
 
 // Shuffle groups pairs by key. Groups are returned in sorted key order and
-// values preserve emission order.
+// values preserve emission order. Grouping is two-pass: group sizes are
+// counted first, then every Values slice is carved out of one shared
+// backing array at exact capacity, so no per-key slice ever regrows and
+// the whole shuffle costs O(keys) allocations instead of O(pairs).
 func Shuffle[V any](pairs []KV[V]) []Group[V] {
-	m := make(map[string][]V)
+	sizes := make(map[string]int, len(pairs))
 	for _, p := range pairs {
-		m[p.Key] = append(m[p.Key], p.Value)
+		sizes[p.Key]++
 	}
-	keys := make([]string, 0, len(m))
-	for k := range m {
+	keys := make([]string, 0, len(sizes))
+	for k := range sizes {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	backing := make([]V, 0, len(pairs))
 	out := make([]Group[V], len(keys))
+	at := make(map[string]int, len(sizes))
 	for i, k := range keys {
-		out[i] = Group[V]{Key: k, Values: m[k]}
+		start := len(backing)
+		backing = backing[:start+sizes[k]]
+		out[i] = Group[V]{Key: k, Values: backing[start:len(backing):len(backing)]}
+		at[k] = i
+	}
+	fill := make(map[string]int, len(sizes))
+	for _, p := range pairs {
+		g := &out[at[p.Key]]
+		g.Values[fill[p.Key]] = p.Value
+		fill[p.Key]++
 	}
 	return out
 }
@@ -284,9 +309,5 @@ func ReducePhase[V, O any](cfg Config, groups []Group[V], reducer func(key strin
 	if caught != nil {
 		panic(caught)
 	}
-	var out []O
-	for _, r := range results {
-		out = append(out, r...)
-	}
-	return out
+	return concat(results)
 }

@@ -229,3 +229,65 @@ func TestReducePhaseSingleWorker(t *testing.T) {
 		t.Fatalf("got %v", got)
 	}
 }
+
+// TestPhaseOutputPreallocated pins the exact-capacity concatenation of
+// the parallel phases: output slices are sized by summing per-input
+// result lengths, never grown by repeated append, so capacity equals
+// length.
+func TestPhaseOutputPreallocated(t *testing.T) {
+	inputs := make([]int, 64)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	pairs := MapPhase(Config{Workers: 8}, inputs, func(i int) []KV[int] {
+		out := make([]KV[int], (i%5)+1)
+		for j := range out {
+			out[j] = KV[int]{Key: fmt.Sprintf("k%d", i%7), Value: i}
+		}
+		return out
+	})
+	if cap(pairs) != len(pairs) {
+		t.Errorf("MapPhase output cap %d != len %d (not preallocated)", cap(pairs), len(pairs))
+	}
+	groups := Shuffle(pairs)
+	outs := ReducePhase(Config{Workers: 8}, groups, func(key string, values []int) []int {
+		return values
+	})
+	if cap(outs) != len(outs) {
+		t.Errorf("ReducePhase output cap %d != len %d (not preallocated)", cap(outs), len(outs))
+	}
+}
+
+// TestShuffleAllocationBound is the BenchmarkClaimBuilding-style
+// allocation assertion for the two-pass shuffle: grouping N pairs over K
+// keys costs O(K) allocations (count map, key slice, one shared backing
+// array, group headers), not one growth chain per key.
+func TestShuffleAllocationBound(t *testing.T) {
+	const pairsN, keysN = 4096, 16
+	pairs := make([]KV[int], pairsN)
+	for i := range pairs {
+		pairs[i] = KV[int]{Key: fmt.Sprintf("key-%02d", i%keysN), Value: i}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if got := Shuffle(pairs); len(got) != keysN {
+			t.Fatalf("got %d groups", len(got))
+		}
+	})
+	// Three maps (sizes, at, fill) + keys + backing + groups + map
+	// internals: comfortably under two allocations per key. The old
+	// append-grown shuffle cost ~8 growths per key on top of the map
+	// churn (>130 allocs for this shape).
+	if allocs > 3*keysN {
+		t.Errorf("Shuffle allocates %.0f times for %d keys, want <= %d", allocs, keysN, 3*keysN)
+	}
+}
+
+// TestShuffleValuesCapped ensures appending to one group's Values cannot
+// bleed into the next group's share of the pooled backing array.
+func TestShuffleValuesCapped(t *testing.T) {
+	groups := Shuffle([]KV[int]{{Key: "a", Value: 1}, {Key: "b", Value: 2}})
+	_ = append(groups[0].Values, 99)
+	if groups[1].Values[0] != 2 {
+		t.Errorf("append to group a overwrote group b: %v", groups[1].Values)
+	}
+}
