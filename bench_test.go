@@ -286,7 +286,7 @@ func BenchmarkPipelineTelemetry(b *testing.B) {
 		if err != nil || res.Augmented.Len() == 0 {
 			b.Fatalf("pipeline failed: %v", err)
 		}
-		rr, err := run.Report(res.Health)
+		rr, err := run.Report(res.Health())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -325,7 +325,7 @@ func BenchmarkChaosDegradedPipeline(b *testing.B) {
 		if err != nil {
 			b.Fatalf("degraded run failed hard: %v", err)
 		}
-		if len(res.Health.Degraded()) == 0 {
+		if len(res.Health().Degraded()) == 0 {
 			b.Fatal("no degradation under full optional-stage faults")
 		}
 	}

@@ -18,6 +18,7 @@
 //	domsweep   Algorithm 1 behaviour sweep (sites, seeds, threshold)
 //	fusion     fusion-method comparison on pipeline and copier workloads
 //	ablation   design-choice ablations (hierarchy, correlation, confidence)
+//	serve      serve the fused KB over an HTTP query API (flag: -snapshot)
 //	export     run the pipeline and write the augmented KB as N-Triples
 //	all        run every experiment in sequence
 package main
@@ -51,6 +52,7 @@ func commands() []command {
 		{"scale", "pipeline cost vs world size", cmdScale},
 		{"chaos", "fault-injection sweep: degradation vs failure rate", cmdChaos},
 		{"show", "print fused knowledge about one entity", cmdShow},
+		{"serve", "serve the fused KB over an HTTP query API", cmdServe},
 		{"export", "export the augmented KB as N-Triples", cmdExport},
 		{"all", "run every experiment", cmdAll},
 	}

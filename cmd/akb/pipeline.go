@@ -13,6 +13,7 @@ import (
 	"akb/internal/obs"
 	"akb/internal/rdf"
 	"akb/internal/resilience"
+	"akb/internal/store"
 )
 
 func pipelineConfig(seed int64) core.Config {
@@ -50,30 +51,52 @@ func cmdPipeline(args []string) error {
 	lists := fs.Bool("lists", false, "enable multi-record list-page extraction")
 	parallel := fs.Int("parallel", 0, "run up to N independent stages concurrently on the DAG scheduler (0 or 1: serial); results are identical at any value")
 	reportPath := fs.String("report", "", "write a machine-readable telemetry RunReport (spans, metrics, health) to this JSON file")
+	snapPath := fs.String("snapshot", "", "write an indexed store snapshot of the fused KB to this file (servable with `akb serve -snapshot`)")
 	buildFaults := faultFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := pipelineConfig(*seed)
-	cfg.Align = *alignOn
-	cfg.DiscoverEntities = *discover
-	cfg.Temporal = *temporal
-	cfg.ListPages = *lists
-	cfg.Parallelism = *parallel
+	opts := []core.Option{core.WithSeed(*seed)}
+	if *alignOn {
+		opts = append(opts, core.WithAlignment())
+	}
+	if *discover {
+		opts = append(opts, core.WithEntityDiscovery())
+	}
+	if *temporal {
+		opts = append(opts, core.WithTemporal())
+	}
+	if *lists {
+		opts = append(opts, core.WithListPages())
+	}
+	if *parallel != 0 {
+		opts = append(opts, core.WithParallelism(*parallel))
+	}
 	plan, err := buildFaults()
 	if err != nil {
 		return err
 	}
-	cfg.Faults = plan
+	if plan != nil {
+		opts = append(opts, core.WithFaults(plan))
+	}
 	ctx := context.Background()
 	var run *obs.Run
 	if *reportPath != "" {
 		run = obs.NewRun()
 		ctx = obs.Into(ctx, run)
 	}
-	rep, err := experiments.PipelineContext(ctx, cfg)
+	res, err := core.New(opts...).Run(ctx)
 	if err != nil {
 		return fmt.Errorf("pipeline aborted: %w", err)
+	}
+	rep := experiments.Summarize(res)
+	if *snapPath != "" {
+		st := store.FromResult(res)
+		if err := st.WriteSnapshotFile(*snapPath); err != nil {
+			return fmt.Errorf("write snapshot: %w", err)
+		}
+		defer fmt.Printf("\nSnapshot: %d facts, %d entities -> %s (serve with `akb serve -snapshot %s`)\n",
+			st.Len(), st.EntityCount(), *snapPath, *snapPath)
 	}
 	if run != nil {
 		rr, rerr := run.Report(rep.Health)
@@ -133,7 +156,10 @@ func cmdExport(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res := core.Run(pipelineConfig(*seed))
+	res, err := core.New(core.WithSeed(*seed)).Run(context.Background())
+	if err != nil {
+		return err
+	}
 	w := os.Stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)

@@ -37,9 +37,13 @@ func cmdReport(args []string) error {
 		return err
 	}
 
-	fmt.Printf("Run started %s, wall time %s, %d spans, %d metrics\n",
+	schema := "legacy"
+	if rr.SchemaVersion > 0 {
+		schema = fmt.Sprintf("v%d", rr.SchemaVersion)
+	}
+	fmt.Printf("Run started %s, wall time %s, %d spans, %d metrics (schema %s)\n",
 		rr.Started.Format(time.RFC3339), time.Duration(rr.DurationNS).Round(time.Millisecond),
-		len(rr.Spans), len(rr.Metrics))
+		len(rr.Spans), len(rr.Metrics), schema)
 	if len(rr.Health) > 0 {
 		var health core.HealthReport
 		if err := json.Unmarshal(rr.Health, &health); err == nil {

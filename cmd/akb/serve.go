@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"akb/internal/core"
+	"akb/internal/obs"
+	"akb/internal/serve"
+	"akb/internal/store"
+)
+
+// cmdServe exposes the fused KB over HTTP. It either loads a snapshot
+// written by `akb pipeline -snapshot` or, without one, runs the pipeline
+// inline and serves the fresh result.
+func cmdServe(args []string) error {
+	fs, seed := newFlagSet("serve")
+	snapPath := fs.String("snapshot", "", "serve this snapshot file instead of running the pipeline")
+	addr := fs.String("addr", ":8080", "listen address")
+	maxInflight := fs.Int("max-inflight", 64, "maximum concurrent requests before shedding with 429")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout (503 on expiry)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain window on SIGTERM/SIGINT")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var st *store.Store
+	if *snapPath != "" {
+		var err error
+		if st, err = store.ReadSnapshotFile(*snapPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded snapshot %s: %d facts, %d entities, %d classes\n",
+			*snapPath, st.Len(), st.EntityCount(), len(st.Classes()))
+	} else {
+		fmt.Fprintf(os.Stderr, "no -snapshot given; running pipeline (seed %d) ...\n", *seed)
+		res, err := core.New(core.WithSeed(*seed)).Run(context.Background())
+		if err != nil {
+			return fmt.Errorf("pipeline: %w", err)
+		}
+		st = store.FromResult(res)
+		fmt.Fprintf(os.Stderr, "pipeline done: serving %d facts, %d entities\n", st.Len(), st.EntityCount())
+	}
+
+	cfg := serve.DefaultConfig()
+	cfg.Addr = *addr
+	cfg.MaxInFlight = *maxInflight
+	cfg.RequestTimeout = *timeout
+	cfg.DrainTimeout = *drain
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	srv := serve.New(st, obs.NewRegistry(), cfg)
+	fmt.Fprintf(os.Stderr, "listening on %s (GET /healthz, /metrics, /v1/entity/{id}, /v1/triples/{entity}/{attr}, /v1/query)\n", cfg.Addr)
+	if err := srv.ListenAndServe(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "drained, bye")
+	return nil
+}

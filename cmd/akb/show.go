@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,12 +15,15 @@ func cmdShow(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	res := core.Run(pipelineConfig(*seed))
+	res, err := core.New(core.WithSeed(*seed)).Run(context.Background())
+	if err != nil {
+		return err
+	}
 	name := strings.Join(fs.Args(), " ")
 	if name == "" {
 		// No entity given: list the ten entities with the most fused facts.
 		counts := map[string]int{}
-		for _, d := range res.Fused.Decisions {
+		for _, d := range res.Fused().Decisions {
 			counts[extract.AttrFromIRI(d.Item.Subject)] += len(d.Truths)
 		}
 		names := make([]string, 0, len(counts))
@@ -49,7 +53,7 @@ func cmdShow(args []string) error {
 		sources     int
 	}
 	var rows []row
-	for _, d := range res.Fused.Decisions {
+	for _, d := range res.Fused().Decisions {
 		if extract.AttrFromIRI(d.Item.Subject) != name {
 			continue
 		}

@@ -5,7 +5,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"akb/internal/core"
 	"akb/internal/extract"
@@ -43,10 +45,13 @@ func main() {
 		Granularity: fusion.BySourceExtractor,
 	}
 
-	res := core.Run(cfg)
+	res, err := core.New(core.WithConfig(cfg)).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("== Knowledge extraction ==")
-	for _, st := range res.Stages {
+	for _, st := range res.Stats() {
 		if st.Precision >= 0 {
 			fmt.Printf("  %-14s %-38s %5d statements  precision %.3f\n",
 				st.Stage, st.Detail, st.Statements, st.Precision)
@@ -69,7 +74,7 @@ func main() {
 	}
 
 	fmt.Println("\n== Knowledge fusion ==")
-	fmt.Printf("  method: %s\n", res.Fused.Method)
+	fmt.Printf("  method: %s\n", res.Fused().Method)
 	fmt.Printf("  %s\n", res.FusionMetrics)
 	fmt.Printf("  augmented KB: %d triples\n", res.Augmented.Len())
 

@@ -47,7 +47,7 @@ func TestPipelineDiscoveryStatementsJoinFusion(t *testing.T) {
 	}
 	// At least one fused decision must concern a discovered entity.
 	found := false
-	for _, d := range res.Fused.Decisions {
+	for _, d := range res.Fused().Decisions {
 		if discovered[extract.AttrFromIRI(d.Item.Subject)] {
 			found = true
 			break
@@ -58,7 +58,7 @@ func TestPipelineDiscoveryStatementsJoinFusion(t *testing.T) {
 	}
 	// The discover stage must be reported.
 	seen := false
-	for _, st := range res.Stages {
+	for _, st := range res.Stats() {
 		if st.Stage == "discover" {
 			seen = true
 			if st.Statements == 0 {
@@ -76,7 +76,7 @@ func TestPipelineDiscoveryDisabledByDefault(t *testing.T) {
 	if res.Discovered != nil {
 		t.Error("discovery ran without being enabled")
 	}
-	for _, st := range res.Stages {
+	for _, st := range res.Stats() {
 		if st.Stage == "discover" {
 			t.Error("discover stage present when disabled")
 		}
@@ -99,7 +99,7 @@ func TestPipelineAlignStageReported(t *testing.T) {
 		t.Error("no values corrected despite 10% typos")
 	}
 	seen := false
-	for _, st := range res.Stages {
+	for _, st := range res.Stats() {
 		if st.Stage == "align" {
 			seen = true
 		}
@@ -120,7 +120,7 @@ func TestPipelineListPages(t *testing.T) {
 		t.Fatalf("empty list extraction: %+v", res.Lists)
 	}
 	seen := false
-	for _, st := range res.Stages {
+	for _, st := range res.Stats() {
 		if st.Stage == "extract/lists" {
 			seen = true
 			if st.Precision < 0.8 {
@@ -147,7 +147,7 @@ func TestPipelineTemporal(t *testing.T) {
 		t.Fatal("no timelines fused")
 	}
 	seen := false
-	for _, st := range res.Stages {
+	for _, st := range res.Stats() {
 		if st.Stage == "extract/temporal" {
 			seen = true
 			if st.Precision < 0.8 {

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"akb/internal/align"
+	"akb/internal/entitydisc"
+	"akb/internal/fusion"
+	"akb/internal/kb"
+	"akb/internal/resilience"
+	"akb/internal/webgen"
+)
+
+// Pipeline is a configured, runnable instance of the Figure-1 framework.
+// It is the stable public entry point: callers construct one with New and
+// a set of functional options, then execute it with Run. A Pipeline is
+// immutable after construction and may be run any number of times; every
+// run with the same options produces byte-identical results.
+//
+// The serving layer (internal/store, internal/serve) and the CLI consume
+// this surface rather than the raw Config struct, so Config can keep
+// growing fields without breaking callers.
+type Pipeline struct {
+	cfg Config
+}
+
+// Option adjusts a pipeline configuration during New. Options apply in
+// order, so later options win when they touch the same setting.
+type Option func(*Config)
+
+// New builds a Pipeline from DefaultConfig with the options applied.
+func New(opts ...Option) *Pipeline {
+	cfg := DefaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Pipeline{cfg: cfg}
+}
+
+// Config returns a copy of the pipeline's resolved configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Run executes the pipeline on the dependency-DAG scheduler under the
+// resilience supervisor. It returns a nil Result and a wrapped
+// *resilience.StageError when a mandatory stage fails or the context is
+// cancelled; optional-stage failures degrade the run (visible through
+// Result.Health) but do not error.
+func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
+	return runPipeline(ctx, p.cfg)
+}
+
+// WithConfig replaces the whole base configuration. It composes with the
+// other options: list it first to start from an explicit Config instead of
+// DefaultConfig, then layer adjustments on top.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithSeed reseeds the run: it sets both the top-level seed and the
+// ground-truth world's seed, which is what the CLI's -seed flag always
+// meant. Substrate-specific seeds (KBs, stream, sites, corpus) keep their
+// configured offsets.
+func WithSeed(seed int64) Option {
+	return func(c *Config) {
+		c.Seed = seed
+		c.World.Seed = seed
+	}
+}
+
+// WithWorld replaces the ground-truth world configuration.
+func WithWorld(w kb.WorldConfig) Option {
+	return func(c *Config) { c.World = w }
+}
+
+// WithParallelism bounds how many independent stages execute concurrently
+// on the DAG scheduler; n <= 1 runs strictly serially. Results are
+// byte-identical at any value.
+func WithParallelism(n int) Option {
+	return func(c *Config) { c.Parallelism = n }
+}
+
+// WithGranularity selects the fusion source granularity.
+func WithGranularity(g fusion.Granularity) Option {
+	return func(c *Config) { c.Granularity = g }
+}
+
+// WithMethod overrides the fusion method; nil restores the paper's FULL
+// composition.
+func WithMethod(m fusion.Method) Option {
+	return func(c *Config) { c.Method = m }
+}
+
+// WithAlignment enables pre-fusion normalisation (synonym merging,
+// misspelling correction, sub-attribute identification) with the default
+// tuning.
+func WithAlignment() Option {
+	return func(c *Config) { c.Align = true }
+}
+
+// WithAlignmentConfig enables pre-fusion normalisation with explicit
+// tuning.
+func WithAlignmentConfig(acfg align.Config) Option {
+	return func(c *Config) {
+		c.Align = true
+		c.AlignCfg = acfg
+	}
+}
+
+// WithEntityDiscovery enables joint entity linking and discovery with the
+// default tuning.
+func WithEntityDiscovery() Option {
+	return func(c *Config) { c.DiscoverEntities = true }
+}
+
+// WithEntityDiscoveryConfig enables entity discovery with explicit tuning.
+func WithEntityDiscoveryConfig(dcfg entitydisc.Config) Option {
+	return func(c *Config) {
+		c.DiscoverEntities = true
+		c.DiscoverCfg = dcfg
+	}
+}
+
+// WithListPages enables multi-record list-page generation and extraction
+// with the default tuning.
+func WithListPages() Option {
+	return func(c *Config) { c.ListPages = true }
+}
+
+// WithListPagesConfig enables list-page extraction with explicit tuning.
+func WithListPagesConfig(lcfg webgen.ListConfig) Option {
+	return func(c *Config) {
+		c.ListPages = true
+		c.ListCfg = lcfg
+	}
+}
+
+// WithTemporal enables temporal knowledge extraction and timeline fusion.
+func WithTemporal() Option {
+	return func(c *Config) { c.Temporal = true }
+}
+
+// WithFaults injects a deterministic fault plan through the resilience
+// harness; nil runs fault-free.
+func WithFaults(plan *resilience.FaultPlan) Option {
+	return func(c *Config) { c.Faults = plan }
+}
+
+// WithRetry overrides the backoff policy for retryable stages.
+func WithRetry(policy resilience.RetryPolicy) Option {
+	return func(c *Config) { c.Retry = policy }
+}
+
+// WithStageTimeout bounds each supervised stage attempt; 0 disables
+// per-stage deadlines.
+func WithStageTimeout(d time.Duration) Option {
+	return func(c *Config) { c.StageTimeout = d }
+}
+
+// WithStageHook observes every supervised stage start. With parallelism
+// above one the hook fires from concurrent stage goroutines and must be
+// safe for concurrent use.
+func WithStageHook(hook func(stage string)) Option {
+	return func(c *Config) { c.StageHook = hook }
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"akb/internal/fusion"
+	"akb/internal/resilience"
+)
+
+func TestNewDefaultsMatchDefaultConfig(t *testing.T) {
+	p := New()
+	want := DefaultConfig()
+	got := p.Config()
+	// Function fields are not comparable; both are nil here.
+	if got.StageHook != nil || want.StageHook != nil {
+		t.Fatal("unexpected stage hook on defaults")
+	}
+	got.StageHook, want.StageHook = nil, nil
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("New() config = %+v, want DefaultConfig", got)
+	}
+}
+
+func TestOptionsApplyInOrder(t *testing.T) {
+	base := DefaultConfig()
+	base.Parallelism = 2
+	p := New(
+		WithConfig(base),
+		WithSeed(9),
+		WithParallelism(4), // later option wins over WithConfig's value
+		WithGranularity(fusion.ByExtractor),
+		WithAlignment(),
+		WithEntityDiscovery(),
+		WithListPages(),
+		WithTemporal(),
+		WithStageTimeout(3*time.Second),
+		WithRetry(resilience.RetryPolicy{MaxAttempts: 2}),
+	)
+	cfg := p.Config()
+	if cfg.Seed != 9 || cfg.World.Seed != 9 {
+		t.Errorf("WithSeed: Seed=%d World.Seed=%d, want 9/9", cfg.Seed, cfg.World.Seed)
+	}
+	if cfg.Parallelism != 4 {
+		t.Errorf("Parallelism = %d, want 4 (later option wins)", cfg.Parallelism)
+	}
+	if cfg.Granularity != fusion.ByExtractor {
+		t.Errorf("Granularity = %v", cfg.Granularity)
+	}
+	if !cfg.Align || !cfg.DiscoverEntities || !cfg.ListPages || !cfg.Temporal {
+		t.Errorf("feature switches not all on: %+v", cfg)
+	}
+	if cfg.StageTimeout != 3*time.Second {
+		t.Errorf("StageTimeout = %v", cfg.StageTimeout)
+	}
+	if cfg.Retry.MaxAttempts != 2 {
+		t.Errorf("Retry = %+v", cfg.Retry)
+	}
+}
+
+func TestNewDoesNotShareConfigAcrossPipelines(t *testing.T) {
+	a := New(WithSeed(1))
+	b := New(WithSeed(2))
+	if a.Config().Seed == b.Config().Seed {
+		t.Fatal("pipelines share seed state")
+	}
+}
+
+// TestPipelineRunMatchesDeprecatedRunContext pins the compatibility
+// contract: the new constructor surface and the deprecated wrapper are the
+// same engine, so identical configs yield identical results.
+func TestPipelineRunMatchesDeprecatedRunContext(t *testing.T) {
+	cfg := chaosConfig()
+	viaNew, err := New(WithConfig(cfg)).Run(context.Background())
+	if err != nil {
+		t.Fatalf("Pipeline.Run: %v", err)
+	}
+	viaLegacy, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if viaNew.FusionMetrics != viaLegacy.FusionMetrics {
+		t.Errorf("fusion metrics differ: %+v vs %+v", viaNew.FusionMetrics, viaLegacy.FusionMetrics)
+	}
+	if !reflect.DeepEqual(viaNew.Stats(), viaLegacy.Stats()) {
+		t.Errorf("stage stats differ")
+	}
+	if !reflect.DeepEqual(viaNew.Fused().Decisions, viaLegacy.Fused().Decisions) {
+		t.Errorf("fusion decisions differ")
+	}
+	if !reflect.DeepEqual(viaNew.Health(), viaLegacy.Health()) {
+		t.Errorf("health reports differ")
+	}
+}

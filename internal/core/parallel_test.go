@@ -15,17 +15,17 @@ func assertResultsEqual(t *testing.T, serial, parallel *Result, label string) {
 	if !reflect.DeepEqual(parallel.Statements, serial.Statements) {
 		t.Errorf("%s: statements differ (%d vs %d)", label, len(parallel.Statements), len(serial.Statements))
 	}
-	if !reflect.DeepEqual(parallel.Fused.Decisions, serial.Fused.Decisions) {
+	if !reflect.DeepEqual(parallel.Fused().Decisions, serial.Fused().Decisions) {
 		t.Errorf("%s: fusion decisions differ", label)
 	}
 	if parallel.FusionMetrics != serial.FusionMetrics {
 		t.Errorf("%s: fusion metrics differ: %+v vs %+v", label, parallel.FusionMetrics, serial.FusionMetrics)
 	}
-	if !reflect.DeepEqual(parallel.Stages, serial.Stages) {
-		t.Errorf("%s: stage stats differ:\n par: %+v\n ser: %+v", label, parallel.Stages, serial.Stages)
+	if !reflect.DeepEqual(parallel.Stats(), serial.Stats()) {
+		t.Errorf("%s: stage stats differ:\n par: %+v\n ser: %+v", label, parallel.Stats(), serial.Stats())
 	}
-	if !reflect.DeepEqual(parallel.Health, serial.Health) {
-		t.Errorf("%s: health reports differ:\n par: %+v\n ser: %+v", label, parallel.Health, serial.Health)
+	if !reflect.DeepEqual(parallel.Health(), serial.Health()) {
+		t.Errorf("%s: health reports differ:\n par: %+v\n ser: %+v", label, parallel.Health(), serial.Health())
 	}
 	if !reflect.DeepEqual(parallel.Growth(), serial.Growth()) {
 		t.Errorf("%s: growth tables differ", label)
@@ -109,8 +109,8 @@ func TestPipelineParallelChaosDeterministic(t *testing.T) {
 		return res
 	}
 	serial, parallel := run(1), run(4)
-	if !reflect.DeepEqual(parallel.Health.Degraded(), serial.Health.Degraded()) {
-		t.Errorf("degraded sets differ: %v vs %v", parallel.Health.Degraded(), serial.Health.Degraded())
+	if !reflect.DeepEqual(parallel.Health().Degraded(), serial.Health().Degraded()) {
+		t.Errorf("degraded sets differ: %v vs %v", parallel.Health().Degraded(), serial.Health().Degraded())
 	}
 	assertResultsEqual(t, serial, parallel, "chaos")
 }

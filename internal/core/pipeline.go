@@ -226,19 +226,19 @@ type Result struct {
 	TextX    *textx.Result
 	// Statements is the union of all extractors' output.
 	Statements []rdf.Statement
-	// Fused is the knowledge-fusion outcome.
-	Fused *fusion.Result
-	// FusionMetrics scores Fused against ground truth.
+	// fused is the knowledge-fusion outcome; read it through Fused().
+	fused *fusion.Result
+	// FusionMetrics scores the fused knowledge against ground truth.
 	FusionMetrics eval.Metrics
 	// Augmented is the final KB: accepted triples attached to the Freebase
 	// stand-in's store.
 	Augmented *rdf.Store
-	// Stages reports per-stage statistics in execution order.
-	Stages []StageStat
-	// Health reports every supervised stage's outcome, including stages
-	// that emit no statement statistics; degraded optional stages appear
-	// here with their error and attempt count.
-	Health HealthReport
+	// stages holds per-stage statistics in execution order; read them
+	// through Stats().
+	stages []StageStat
+	// health records every supervised stage's outcome; read it through
+	// Health().
+	health HealthReport
 	// AlignReport summarises pre-fusion normalisation when Config.Align is
 	// set; nil otherwise.
 	AlignReport *align.Report
@@ -253,10 +253,26 @@ type Result struct {
 	Timelines []temporalx.Timeline
 }
 
+// Fused returns the knowledge-fusion outcome: the accepted truths and
+// per-value beliefs for every data item. It is the read surface the
+// serving layer (internal/store) snapshots.
+func (r *Result) Fused() *fusion.Result { return r.fused }
+
+// Health returns the supervised outcome of every stage, including stages
+// that emit no statement statistics; degraded optional stages appear with
+// their error and attempt count.
+func (r *Result) Health() HealthReport { return r.health }
+
+// Stats returns per-stage statistics in execution order.
+func (r *Result) Stats() []StageStat { return r.stages }
+
 // Run executes the full Figure-1 pipeline. It is the legacy fault-free
 // entry point: without injected faults every stage is deterministic and
 // cannot fail, so Run panics on a supervisor error instead of returning
-// it. Use RunContext for cancellation, deadlines and chaos runs.
+// it.
+//
+// Deprecated: use New(WithConfig(cfg)).Run(ctx), which adds cancellation,
+// deadlines and chaos runs and returns errors instead of panicking.
 func Run(cfg Config) *Result {
 	res, err := RunContext(context.Background(), cfg)
 	if err != nil {
@@ -266,11 +282,20 @@ func Run(cfg Config) *Result {
 }
 
 // RunContext executes the pipeline as supervised stages on the dependency
-// DAG. It returns a nil Result and a wrapped *resilience.StageError when a
-// mandatory stage fails or the context is cancelled; optional-stage
-// failures degrade the run (recorded in Result.Health and the stage's
-// StageStat) but do not error.
+// DAG.
+//
+// Deprecated: use New(WithConfig(cfg)).Run(ctx); RunContext is a thin
+// wrapper kept so existing callers compile.
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return runPipeline(ctx, cfg)
+}
+
+// runPipeline is the engine behind Pipeline.Run and the deprecated
+// wrappers. It returns a nil Result and a wrapped *resilience.StageError
+// when a mandatory stage fails or the context is cancelled;
+// optional-stage failures degrade the run (recorded in Result.Health()
+// and the stage's StageStat) but do not error.
+func runPipeline(ctx context.Context, cfg Config) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -412,18 +437,18 @@ func (p *pipelineRun) assemble(stages []sched.Stage, out *sched.Result) {
 		if rep.Err != nil {
 			sh.Err = rep.Err.Error()
 		}
-		p.res.Health.Stages = append(p.res.Health.Stages, sh)
+		p.res.health.Stages = append(p.res.health.Stages, sh)
 		switch rep.Health {
 		case resilience.OK:
 			if st := p.stats[name]; st != nil {
 				st.Health = resilience.OK
 				st.Attempts = rep.Attempts
-				p.res.Stages = append(p.res.Stages, *st)
+				p.res.stages = append(p.res.stages, *st)
 			}
 		case resilience.Degraded:
 			// A partially-run body's stat (if any) is discarded in favour
 			// of the degradation record.
-			p.res.Stages = append(p.res.Stages, StageStat{
+			p.res.stages = append(p.res.stages, StageStat{
 				Stage:     name,
 				Detail:    "degraded: " + sh.Err,
 				Precision: -1,
@@ -711,8 +736,8 @@ func (p *pipelineRun) fuse(ctx context.Context) error {
 		method = &fusion.Full{Forest: res.World.Hier, Obs: reg}
 	}
 	claims := fusion.BuildClaims(res.Statements, p.cfg.Granularity)
-	res.Fused = method.Fuse(claims)
-	res.FusionMetrics = p.scorer.ScoreFusion(res.Fused)
+	res.fused = method.Fuse(claims)
+	res.FusionMetrics = p.scorer.ScoreFusion(res.fused)
 	reg.Counter("akb_fusion_claims_total").Add(int64(claims.NumClaims()))
 	reg.Gauge("akb_fusion_sources").Set(float64(len(claims.SourceNames)))
 	conflicts, truths := 0, 0
@@ -721,7 +746,7 @@ func (p *pipelineRun) fuse(ctx context.Context) error {
 			conflicts++
 		}
 	}
-	for _, d := range res.Fused.Decisions {
+	for _, d := range res.fused.Decisions {
 		truths += len(d.Truths)
 	}
 	reg.Counter("akb_fusion_conflicts_total").Add(int64(conflicts))
@@ -730,7 +755,7 @@ func (p *pipelineRun) fuse(ctx context.Context) error {
 	// The stat slot is keyed by the scheduler name; the rendered stage
 	// label carries the fusion method, as it always has.
 	p.setStat(StageFusion, StageStat{
-		Stage:      "fusion/" + res.Fused.Method,
+		Stage:      "fusion/" + res.fused.Method,
 		Detail:     fmt.Sprintf("%d items, %d sources", len(claims.Items), len(claims.SourceNames)),
 		Statements: claims.NumClaims(),
 		Precision:  res.FusionMetrics.Precision(),
@@ -742,7 +767,7 @@ func (p *pipelineRun) fuse(ctx context.Context) error {
 func (p *pipelineRun) augment(ctx context.Context) error {
 	res := p.res
 	res.Augmented = rdf.NewStore()
-	for _, d := range res.Fused.Decisions {
+	for _, d := range res.fused.Decisions {
 		for _, v := range d.Truths {
 			res.Augmented.Add(rdf.T(d.Item.Subject, d.Item.Predicate, v))
 		}

@@ -15,7 +15,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 	if len(res.Statements) == 0 {
 		t.Fatal("no statements extracted")
 	}
-	if res.Fused == nil || len(res.Fused.Decisions) == 0 {
+	if res.Fused() == nil || len(res.Fused().Decisions) == 0 {
 		t.Fatal("no fusion decisions")
 	}
 	if res.Augmented.Len() == 0 {
@@ -33,19 +33,19 @@ func TestPipelineEndToEnd(t *testing.T) {
 func TestPipelineStagesReported(t *testing.T) {
 	res := Run(DefaultConfig())
 	wantStages := []string{"extract/kbx", "extract/qsx", "extract/domx", "extract/textx"}
-	if len(res.Stages) < len(wantStages)+2 {
-		t.Fatalf("got %d stages: %+v", len(res.Stages), res.Stages)
+	if len(res.Stats()) < len(wantStages)+2 {
+		t.Fatalf("got %d stages: %+v", len(res.Stats()), res.Stats())
 	}
 	for i, w := range wantStages {
-		if res.Stages[i].Stage != w {
-			t.Errorf("stage %d = %q, want %q", i, res.Stages[i].Stage, w)
+		if res.Stats()[i].Stage != w {
+			t.Errorf("stage %d = %q, want %q", i, res.Stats()[i].Stage, w)
 		}
 	}
 	// KB extraction is near-perfect; DOM and text are noisier but usable.
-	if res.Stages[0].Precision < 0.9 {
-		t.Errorf("kbx precision = %.3f", res.Stages[0].Precision)
+	if res.Stats()[0].Precision < 0.9 {
+		t.Errorf("kbx precision = %.3f", res.Stats()[0].Precision)
 	}
-	for _, st := range res.Stages[2:4] {
+	for _, st := range res.Stats()[2:4] {
 		if st.Statements == 0 {
 			t.Errorf("%s produced no statements", st.Stage)
 		}

@@ -49,13 +49,13 @@ func TestChaosAllOptionalStagesDegrade(t *testing.T) {
 	if err != nil {
 		t.Fatalf("pipeline failed hard: %v", err)
 	}
-	deg := res.Health.Degraded()
+	deg := res.Health().Degraded()
 	want := OptionalStageNames()
 	if len(deg) != len(want) {
 		t.Fatalf("degraded = %v, want all of %v", deg, want)
 	}
 	for _, st := range want {
-		sh, ok := res.Health.Stage(st)
+		sh, ok := res.Health().Stage(st)
 		if !ok || sh.Health != resilience.Degraded {
 			t.Errorf("stage %s not reported degraded: %+v", st, sh)
 		}
@@ -67,7 +67,7 @@ func TestChaosAllOptionalStagesDegrade(t *testing.T) {
 		if st == StageFusion || st == StageAugment {
 			continue // reported under fusion/FULL and augment stats below
 		}
-		sh, ok := res.Health.Stage(st)
+		sh, ok := res.Health().Stage(st)
 		if !ok || sh.Health != resilience.OK {
 			t.Errorf("mandatory stage %s not healthy: %+v", st, sh)
 		}
@@ -77,7 +77,7 @@ func TestChaosAllOptionalStagesDegrade(t *testing.T) {
 		t.Error("degraded stages still left outputs in the result")
 	}
 	// ...but fusion ran on the surviving KB statements.
-	if res.Fused == nil || len(res.Fused.Decisions) == 0 {
+	if res.Fused() == nil || len(res.Fused().Decisions) == 0 {
 		t.Fatal("fusion produced no decisions from surviving stages")
 	}
 	if p := res.FusionMetrics.Precision(); p < 0.85 {
@@ -88,7 +88,7 @@ func TestChaosAllOptionalStagesDegrade(t *testing.T) {
 	}
 	// Degraded stages appear in the stage stats with health annotations.
 	found := 0
-	for _, st := range res.Stages {
+	for _, st := range res.Stats() {
 		if st.Health == resilience.Degraded {
 			found++
 			if st.Precision != -1 || st.Err == "" {
@@ -114,7 +114,7 @@ func TestChaosSingleStageDegrades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if deg := res.Health.Degraded(); len(deg) != 1 || deg[0] != StageTextX {
+	if deg := res.Health().Degraded(); len(deg) != 1 || deg[0] != StageTextX {
 		t.Fatalf("degraded = %v, want [%s]", deg, StageTextX)
 	}
 	if res.TextX != nil {
@@ -126,7 +126,7 @@ func TestChaosSingleStageDegrades(t *testing.T) {
 	if p := res.FusionMetrics.Precision(); p < 0.7 {
 		t.Errorf("precision without textx = %.3f", p)
 	}
-	if res.Health.Healthy() {
+	if res.Health().Healthy() {
 		t.Error("Healthy() true on degraded run")
 	}
 }
@@ -139,11 +139,11 @@ func TestChaosTransientFaultsRecoverViaRetry(t *testing.T) {
 	if err != nil {
 		t.Fatalf("transient chaos at p=0.5 with 8 attempts failed hard: %v", err)
 	}
-	if !res.Health.Healthy() {
-		t.Fatalf("stages did not recover: %v", res.Health)
+	if !res.Health().Healthy() {
+		t.Fatalf("stages did not recover: %v", res.Health())
 	}
 	retried := false
-	for _, sh := range res.Health.Stages {
+	for _, sh := range res.Health().Stages {
 		if sh.Attempts > 1 {
 			retried = true
 		}
@@ -152,7 +152,7 @@ func TestChaosTransientFaultsRecoverViaRetry(t *testing.T) {
 		t.Error("no stage needed a retry at p=0.5; fault injection inactive?")
 	}
 	// Attempts surface on the stage stats too.
-	for _, st := range res.Stages {
+	for _, st := range res.Stats() {
 		if st.Attempts < 1 {
 			t.Errorf("stage %s has no attempt count", st.Stage)
 		}
@@ -174,7 +174,7 @@ func TestChaosDeterministic(t *testing.T) {
 	if errA != nil {
 		return
 	}
-	da, db := a.Health.Degraded(), b.Health.Degraded()
+	da, db := a.Health().Degraded(), b.Health().Degraded()
 	if len(da) != len(db) {
 		t.Fatalf("degraded sets differ: %v vs %v", da, db)
 	}
@@ -259,9 +259,9 @@ func TestQSXStageStatReportsCredibleAttrs(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stat *StageStat
-	for i := range res.Stages {
-		if res.Stages[i].Stage == StageQSX {
-			stat = &res.Stages[i]
+	for i := range res.Stats() {
+		if res.Stats()[i].Stage == StageQSX {
+			stat = &res.Stats()[i]
 		}
 	}
 	if stat == nil {
@@ -310,7 +310,7 @@ func TestRunMatchesRunContextFaultFree(t *testing.T) {
 		t.Fatalf("Run and RunContext diverge: %d/%d stmts, %+v vs %+v",
 			len(a.Statements), len(b.Statements), a.FusionMetrics, b.FusionMetrics)
 	}
-	if !a.Health.Healthy() || !b.Health.Healthy() {
+	if !a.Health().Healthy() || !b.Health().Healthy() {
 		t.Error("fault-free runs not healthy")
 	}
 }

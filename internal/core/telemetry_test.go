@@ -20,20 +20,20 @@ func TestRunContextTelemetry(t *testing.T) {
 	if err != nil {
 		t.Fatalf("pipeline failed: %v", err)
 	}
-	rr, err := run.Report(res.Health)
+	rr, err := run.Report(res.Health())
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	roots := rr.RootSpans()
-	if len(roots) != len(res.Health.Stages) {
-		t.Fatalf("got %d root spans for %d supervised stages", len(roots), len(res.Health.Stages))
+	if len(roots) != len(res.Health().Stages) {
+		t.Fatalf("got %d root spans for %d supervised stages", len(roots), len(res.Health().Stages))
 	}
 	perStage := make(map[string]int)
 	for _, s := range roots {
 		perStage[s.Name]++
 	}
-	for i, sh := range res.Health.Stages {
+	for i, sh := range res.Health().Stages {
 		if perStage[sh.Stage] != 1 {
 			t.Errorf("stage %s has %d root spans, want exactly 1", sh.Stage, perStage[sh.Stage])
 		}
@@ -101,11 +101,11 @@ func TestRunContextTelemetryRetries(t *testing.T) {
 	if err != nil {
 		t.Fatalf("pipeline failed: %v", err)
 	}
-	sh, ok := res.Health.Stage(StageTextX)
+	sh, ok := res.Health().Stage(StageTextX)
 	if !ok || sh.Health != resilience.OK || sh.Attempts < 2 {
 		t.Fatalf("textx did not recover via retry: %+v", sh)
 	}
-	rr, err := run.Report(res.Health)
+	rr, err := run.Report(res.Health())
 	if err != nil {
 		t.Fatal(err)
 	}

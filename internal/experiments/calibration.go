@@ -43,7 +43,7 @@ func CalibrationMethod(seed int64, buckets int, m fusion.Method) []CalibrationRo
 		correct int
 	}
 	accs := make([]acc, buckets)
-	for _, d := range res.Fused.Decisions {
+	for _, d := range res.Fused().Decisions {
 		entity := extract.AttrFromIRI(d.Item.Subject)
 		e, ok := res.World.Entity(entity)
 		if !ok {

@@ -123,19 +123,26 @@ func Pipeline(cfg core.Config) PipelineReport {
 // and summarises it; it errors when a mandatory stage fails or the context
 // is cancelled.
 func PipelineContext(ctx context.Context, cfg core.Config) (PipelineReport, error) {
-	res, err := core.RunContext(ctx, cfg)
+	res, err := core.New(core.WithConfig(cfg)).Run(ctx)
 	if err != nil {
 		return PipelineReport{}, err
 	}
+	return Summarize(res), nil
+}
+
+// Summarize condenses a pipeline Result into the report the CLI renders.
+// Callers that already hold a Result (e.g. because they also snapshot it
+// for serving) use this instead of re-running the pipeline.
+func Summarize(res *core.Result) PipelineReport {
 	return PipelineReport{
-		Stages:           res.Stages,
+		Stages:           res.Stats(),
 		Growth:           res.Growth(),
 		Fusion:           res.FusionMetrics,
 		AugmentedTriples: res.Augmented.Len(),
 		TotalStatements:  len(res.Statements),
-		Health:           res.Health,
-		Degraded:         res.Health.Degraded(),
-	}, nil
+		Health:           res.Health(),
+		Degraded:         res.Health().Degraded(),
+	}
 }
 
 // --- E5: Algorithm 1 behaviour sweeps ------------------------------------
@@ -285,10 +292,10 @@ func Ablations(seed int64) []AblationRow {
 	acfg.Method = &fusion.MultiTruth{Weighted: true}
 	off := core.Run(acfg)
 	offScorer := &eval.Scorer{World: off.World}
-	add("alignment", "off", offScorer.ScoreFusion(off.Fused))
+	add("alignment", "off", offScorer.ScoreFusion(off.Fused()))
 	acfg.Align = true
 	on := core.Run(acfg)
 	onScorer := &eval.Scorer{World: on.World}
-	add("alignment", "on", onScorer.ScoreFusion(on.Fused))
+	add("alignment", "on", onScorer.ScoreFusion(on.Fused()))
 	return rows
 }

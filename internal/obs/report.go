@@ -7,12 +7,22 @@ import (
 	"time"
 )
 
+// RunReportSchemaVersion is the current RunReport JSON layout version.
+// Version history:
+//
+//	0 (implicit) — original layout, no schema_version field
+//	1 — schema_version stamped; layout otherwise identical to 0
+const RunReportSchemaVersion = 1
+
 // RunReport is the machine-readable record of one pipeline run: every
 // span, every metric, and the caller's health report (serialised as raw
 // JSON so obs stays dependency-free). It is the artifact `akb pipeline
 // -report` writes, `akb report` renders, and the benchmark run appends to
 // the perf trajectory.
 type RunReport struct {
+	// SchemaVersion identifies the report layout. Zero means a legacy
+	// (pre-versioning) report; readers accept 0..RunReportSchemaVersion.
+	SchemaVersion int `json:"schema_version,omitempty"`
 	// Started is when the telemetry run was created.
 	Started time.Time `json:"started"`
 	// DurationNS is wall time from run start to export.
@@ -34,10 +44,11 @@ func (r *Run) Report(health any) (*RunReport, error) {
 		return nil, fmt.Errorf("obs: Report on nil Run")
 	}
 	rr := &RunReport{
-		Started:    r.started,
-		DurationNS: r.trace.clock().Sub(r.started).Nanoseconds(),
-		Spans:      r.trace.Snapshot(),
-		Metrics:    r.reg.Snapshot(),
+		SchemaVersion: RunReportSchemaVersion,
+		Started:       r.started,
+		DurationNS:    r.trace.clock().Sub(r.started).Nanoseconds(),
+		Spans:         r.trace.Snapshot(),
+		Metrics:       r.reg.Snapshot(),
 	}
 	if health != nil {
 		raw, err := json.Marshal(health)
@@ -86,11 +97,18 @@ func (rr *RunReport) Metric(name string) (Metric, bool) {
 // WriteJSON serialises the report as stable, indented JSON.
 func (rr *RunReport) WriteJSON(w io.Writer) error { return WriteJSON(w, rr) }
 
-// ReadRunReport decodes a report previously written with WriteJSON.
+// ReadRunReport decodes a report previously written with WriteJSON. Both
+// versioned reports and legacy ones without a schema_version field (read
+// back as version 0) are accepted; reports from a future layout are
+// rejected so old tooling fails loudly instead of misrendering them.
 func ReadRunReport(r io.Reader) (*RunReport, error) {
 	var rr RunReport
 	if err := json.NewDecoder(r).Decode(&rr); err != nil {
 		return nil, fmt.Errorf("obs: decode run report: %w", err)
+	}
+	if rr.SchemaVersion < 0 || rr.SchemaVersion > RunReportSchemaVersion {
+		return nil, fmt.Errorf("obs: unsupported run report schema_version %d (this build reads 0..%d)",
+			rr.SchemaVersion, RunReportSchemaVersion)
 	}
 	return &rr, nil
 }

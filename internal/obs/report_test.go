@@ -7,6 +7,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -116,6 +117,29 @@ func TestRunReportRoundTrip(t *testing.T) {
 	}
 	if back.DurationNS <= 0 {
 		t.Fatal("non-positive run duration")
+	}
+	if back.SchemaVersion != RunReportSchemaVersion {
+		t.Fatalf("schema version = %d, want %d", back.SchemaVersion, RunReportSchemaVersion)
+	}
+}
+
+// TestReadRunReportVersions pins the compatibility contract: legacy
+// reports without a schema_version field read as version 0; future
+// versions are rejected.
+func TestReadRunReportVersions(t *testing.T) {
+	legacy := `{"started":"2025-01-01T00:00:00Z","duration_ns":5,"spans":[],"metrics":[]}`
+	rr, err := ReadRunReport(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy report rejected: %v", err)
+	}
+	if rr.SchemaVersion != 0 {
+		t.Fatalf("legacy schema version = %d, want 0", rr.SchemaVersion)
+	}
+
+	future := `{"schema_version":99,"started":"2025-01-01T00:00:00Z"}`
+	if _, err := ReadRunReport(strings.NewReader(future)); err == nil ||
+		!strings.Contains(err.Error(), "unsupported run report schema_version") {
+		t.Fatalf("future report err = %v", err)
 	}
 }
 

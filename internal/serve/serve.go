@@ -1,0 +1,433 @@
+// Package serve exposes a fused-KB store over HTTP — the read path of
+// the ROADMAP's "serve heavy traffic" goal. The API is versioned under
+// /v1 and multi-truth aware: attribute lookups return every accepted
+// value with its fused confidence and hierarchy ancestors, not a single
+// "the" answer.
+//
+// Routes:
+//
+//	GET /v1/entity/{id}              all fused knowledge about one entity
+//	GET /v1/triples/{entity}/{attr}  accepted values for one attribute
+//	GET /v1/query?class=&attr=&value=[&entity=&limit=]  filtered fact search
+//	GET /healthz                     liveness + store summary
+//	GET /metrics                     JSON dump of the obs metric registry
+//
+// Production hygiene: per-request timeouts, a bounded in-flight request
+// count with 429 load shedding above it, a response cache over the
+// immutable store, graceful shutdown draining in-flight requests, and
+// akb_serve_* counters/histograms in the shared obs registry.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"akb/internal/obs"
+	"akb/internal/store"
+)
+
+// Config tunes the server. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// Addr is the listen address, e.g. ":8080".
+	Addr string
+	// MaxInFlight bounds concurrently served requests; requests beyond
+	// the bound are shed with 429 Too Many Requests.
+	MaxInFlight int
+	// RequestTimeout bounds one request's handling time; requests that
+	// exceed it receive 503.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: how long in-flight requests
+	// may keep running after the shutdown signal.
+	DrainTimeout time.Duration
+	// CacheSize bounds the response cache (entries); 0 disables caching.
+	CacheSize int
+	// MaxResults caps /v1/query results when the request sends no
+	// explicit smaller limit.
+	MaxResults int
+}
+
+// DefaultConfig returns production-leaning defaults.
+func DefaultConfig() Config {
+	return Config{
+		Addr:           ":8080",
+		MaxInFlight:    64,
+		RequestTimeout: 5 * time.Second,
+		DrainTimeout:   10 * time.Second,
+		CacheSize:      4096,
+		MaxResults:     1000,
+	}
+}
+
+// Server serves one immutable store snapshot. Create with New.
+type Server struct {
+	st      *store.Store
+	reg     *obs.Registry
+	cfg     Config
+	started time.Time
+
+	inflight chan struct{}
+	cache    *respCache
+	handler  http.Handler
+}
+
+// New builds a server over the store. The registry may be nil (metrics
+// become no-ops and /metrics returns an empty snapshot).
+func New(st *store.Store, reg *obs.Registry, cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultConfig().MaxInFlight
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultConfig().RequestTimeout
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultConfig().DrainTimeout
+	}
+	if cfg.MaxResults <= 0 {
+		cfg.MaxResults = DefaultConfig().MaxResults
+	}
+	s := &Server{
+		st:       st,
+		reg:      reg,
+		cfg:      cfg,
+		started:  time.Now(),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		cache:    newRespCache(cfg.CacheSize),
+	}
+	s.handler = s.buildHandler()
+	return s
+}
+
+// Handler returns the fully wrapped HTTP handler (shedding, timeout,
+// metrics, routing). Tests drive it through httptest.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// ListenAndServe runs the server until ctx is cancelled (SIGTERM wiring
+// is the caller's job), then shuts down gracefully: the listener closes
+// immediately, in-flight requests get up to DrainTimeout to finish.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve runs the server on an existing listener; see ListenAndServe.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+		<-errc // Serve has returned ErrServerClosed
+		return nil
+	}
+}
+
+// buildHandler assembles the middleware chain, outermost first: metrics +
+// load shedding, then the request timeout, then cache + routes.
+func (s *Server) buildHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.jsonRoute(s.handleHealthz, false))
+	mux.HandleFunc("GET /metrics", s.jsonRoute(s.handleMetrics, false))
+	mux.HandleFunc("GET /v1/entity/{id}", s.jsonRoute(s.handleEntity, true))
+	mux.HandleFunc("GET /v1/triples/{entity}/{attr}", s.jsonRoute(s.handleTriples, true))
+	mux.HandleFunc("GET /v1/query", s.jsonRoute(s.handleQuery, true))
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown route"})
+	})
+
+	var inner http.Handler = mux
+	inner = http.TimeoutHandler(inner, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.counter("akb_serve_requests_total").Inc()
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			// At capacity: shed instead of queueing, so overload degrades
+			// into fast 429s rather than collapse.
+			s.counter("akb_serve_shed_total").Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server at capacity, retry later"})
+			return
+		}
+		s.gauge("akb_serve_inflight").Add(1)
+		start := time.Now()
+		defer func() {
+			<-s.inflight
+			s.gauge("akb_serve_inflight").Add(-1)
+			s.histogram("akb_serve_latency_seconds").Observe(time.Since(start).Seconds())
+		}()
+		inner.ServeHTTP(w, r)
+	})
+}
+
+// routeResult is a handler's outcome before encoding.
+type routeResult struct {
+	status int
+	body   any
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// jsonRoute adapts a typed handler into an http.HandlerFunc, routing
+// successful cacheable responses through the response cache. The store is
+// immutable, so a cached body never goes stale.
+func (s *Server) jsonRoute(h func(*http.Request) routeResult, cacheable bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.RequestURI()
+		if cacheable {
+			if status, body, ok := s.cache.get(key); ok {
+				s.counter("akb_serve_cache_hits_total").Inc()
+				writeRaw(w, status, body)
+				return
+			}
+			s.counter("akb_serve_cache_misses_total").Inc()
+		}
+		res := h(r)
+		if res.status >= http.StatusInternalServerError {
+			s.counter("akb_serve_errors_total").Inc()
+		}
+		raw, err := json.Marshal(res.body)
+		if err != nil {
+			s.counter("akb_serve_errors_total").Inc()
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: "encode response"})
+			return
+		}
+		if cacheable && res.status == http.StatusOK {
+			s.cache.put(key, res.status, raw)
+		}
+		writeRaw(w, res.status, raw)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		raw = []byte(`{"error":"encode response"}`)
+		status = http.StatusInternalServerError
+	}
+	writeRaw(w, status, raw)
+}
+
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+// valueOut is one accepted value in an API response.
+type valueOut struct {
+	Value      string   `json:"value"`
+	Confidence float64  `json:"confidence"`
+	Sources    int      `json:"sources,omitempty"`
+	Ancestors  []string `json:"ancestors,omitempty"`
+}
+
+func toValueOut(f store.Fact) valueOut {
+	return valueOut{Value: f.Value, Confidence: f.Confidence, Sources: f.Sources, Ancestors: f.Ancestors}
+}
+
+// entityID decodes a path segment into a store entity name. Entity IRIs
+// replace spaces with underscores, so /v1/entity/Film_3 and
+// /v1/entity/Film%203 both resolve.
+func (s *Server) entityID(raw string) string {
+	if len(s.st.Entity(raw)) > 0 {
+		return raw
+	}
+	return strings.ReplaceAll(raw, "_", " ")
+}
+
+func (s *Server) handleHealthz(*http.Request) routeResult {
+	return routeResult{http.StatusOK, struct {
+		Status   string   `json:"status"`
+		Facts    int      `json:"facts"`
+		Entities int      `json:"entities"`
+		Classes  []string `json:"classes"`
+		UptimeMS int64    `json:"uptime_ms"`
+	}{"ok", s.st.Len(), s.st.EntityCount(), s.st.Classes(), time.Since(s.started).Milliseconds()}}
+}
+
+func (s *Server) handleMetrics(*http.Request) routeResult {
+	snap := s.reg.Snapshot()
+	if snap == nil {
+		snap = []obs.Metric{}
+	}
+	return routeResult{http.StatusOK, struct {
+		Metrics []obs.Metric `json:"metrics"`
+	}{snap}}
+}
+
+func (s *Server) handleEntity(r *http.Request) routeResult {
+	id := s.entityID(r.PathValue("id"))
+	facts := s.st.Entity(id)
+	if len(facts) == 0 {
+		return routeResult{http.StatusNotFound, errorBody{Error: fmt.Sprintf("no fused knowledge about entity %q", id)}}
+	}
+	attrs := make(map[string][]valueOut)
+	for _, f := range facts {
+		attrs[f.Attr] = append(attrs[f.Attr], toValueOut(f))
+	}
+	return routeResult{http.StatusOK, struct {
+		Entity     string                `json:"entity"`
+		Class      string                `json:"class,omitempty"`
+		Facts      int                   `json:"facts"`
+		Attributes map[string][]valueOut `json:"attributes"`
+	}{id, facts[0].Class, len(facts), attrs}}
+}
+
+func (s *Server) handleTriples(r *http.Request) routeResult {
+	entity := s.entityID(r.PathValue("entity"))
+	// Attribute names are canonical with spaces; accept the underscore
+	// form too, mirroring how attribute IRIs are minted.
+	attr := r.PathValue("attr")
+	facts := s.st.Triples(entity, attr)
+	if len(facts) == 0 {
+		attr = strings.ReplaceAll(attr, "_", " ")
+		facts = s.st.Triples(entity, attr)
+	}
+	if len(facts) == 0 {
+		return routeResult{http.StatusNotFound, errorBody{
+			Error: fmt.Sprintf("no accepted values for (%s, %s)", entity, attr)}}
+	}
+	values := make([]valueOut, 0, len(facts))
+	for _, f := range facts {
+		values = append(values, toValueOut(f))
+	}
+	return routeResult{http.StatusOK, struct {
+		Entity string     `json:"entity"`
+		Attr   string     `json:"attr"`
+		Values []valueOut `json:"values"`
+	}{entity, attr, values}}
+}
+
+func (s *Server) handleQuery(r *http.Request) routeResult {
+	qs := r.URL.Query()
+	for param := range qs {
+		switch param {
+		case "entity", "class", "attr", "value", "limit":
+		default:
+			return routeResult{http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown query parameter %q", param)}}
+		}
+	}
+	q := store.Query{
+		Entity: qs.Get("entity"),
+		Class:  qs.Get("class"),
+		Attr:   qs.Get("attr"),
+		Value:  qs.Get("value"),
+	}
+	if q == (store.Query{}) {
+		return routeResult{http.StatusBadRequest, errorBody{
+			Error: "at least one of entity, class, attr, value is required"}}
+	}
+	limit := s.cfg.MaxResults
+	if raw := qs.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			return routeResult{http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid limit %q", raw)}}
+		}
+		if n < limit {
+			limit = n
+		}
+	}
+	facts := s.st.Lookup(q)
+	total := len(facts)
+	truncated := false
+	if len(facts) > limit {
+		facts = facts[:limit]
+		truncated = true
+	}
+	if facts == nil {
+		facts = []store.Fact{}
+	}
+	return routeResult{http.StatusOK, struct {
+		Count     int          `json:"count"`
+		Total     int          `json:"total"`
+		Truncated bool         `json:"truncated,omitempty"`
+		Facts     []store.Fact `json:"facts"`
+	}{len(facts), total, truncated, facts}}
+}
+
+func (s *Server) counter(name string) *obs.Counter     { return s.reg.Counter(name) }
+func (s *Server) gauge(name string) *obs.Gauge         { return s.reg.Gauge(name) }
+func (s *Server) histogram(name string) *obs.Histogram { return s.reg.Histogram(name, nil) }
+
+// respCache is a bounded response cache over the immutable store. It
+// never evicts (the key space is finite and the store never changes);
+// once full it simply stops admitting, which keeps the implementation
+// free of LRU bookkeeping on the hot path.
+type respCache struct {
+	mu     sync.RWMutex
+	max    int
+	bodies map[string]cachedResp
+}
+
+type cachedResp struct {
+	status int
+	body   []byte
+}
+
+func newRespCache(max int) *respCache {
+	return &respCache{max: max, bodies: make(map[string]cachedResp)}
+}
+
+func (c *respCache) get(key string) (int, []byte, bool) {
+	if c.max <= 0 {
+		return 0, nil, false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.bodies[key]
+	return r.status, r.body, ok
+}
+
+func (c *respCache) put(key string, status int, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.bodies) >= c.max {
+		return
+	}
+	c.bodies[key] = cachedResp{status, body}
+}
+
+// Keys returns the cached keys in sorted order (for tests).
+func (c *respCache) Keys() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.bodies))
+	for k := range c.bodies {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

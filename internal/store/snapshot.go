@@ -1,0 +1,85 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Snapshot format constants. The codec is deterministic: facts serialise
+// in the store's canonical order with stable field order and two-space
+// indentation, so two snapshots of the same run are byte-identical and
+// diffable.
+const (
+	// SnapshotFormat identifies the file as an akb store snapshot.
+	SnapshotFormat = "akb-snapshot"
+	// SnapshotVersion is the current codec version. ReadSnapshot accepts
+	// any version from 1 up to this and rejects newer files, so old
+	// binaries fail loudly instead of misreading future snapshots.
+	SnapshotVersion = 1
+)
+
+// snapshotFile is the on-disk layout. The fact count is recorded so a
+// truncated file is detected even though JSON decoding would "succeed".
+type snapshotFile struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Count   int    `json:"count"`
+	Facts   []Fact `json:"facts"`
+}
+
+// WriteSnapshot serialises the store.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snapshotFile{
+		Format:  SnapshotFormat,
+		Version: SnapshotVersion,
+		Count:   len(s.facts),
+		Facts:   s.facts,
+	})
+}
+
+// ReadSnapshot loads a snapshot written by WriteSnapshot and rebuilds the
+// indexes. The snapshot stores only facts; indexes are always derived, so
+// codec and index layout can evolve independently.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	var sf snapshotFile
+	if err := json.NewDecoder(r).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if sf.Format != SnapshotFormat {
+		return nil, fmt.Errorf("store: not an akb snapshot (format %q, want %q)", sf.Format, SnapshotFormat)
+	}
+	if sf.Version < 1 || sf.Version > SnapshotVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d (this build reads 1..%d)", sf.Version, SnapshotVersion)
+	}
+	if sf.Count != len(sf.Facts) {
+		return nil, fmt.Errorf("store: snapshot truncated: header says %d facts, found %d", sf.Count, len(sf.Facts))
+	}
+	return New(sf.Facts), nil
+}
+
+// WriteSnapshotFile writes the snapshot to a file.
+func (s *Store) WriteSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadSnapshotFile loads a snapshot from a file.
+func ReadSnapshotFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

@@ -1,0 +1,99 @@
+package store
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := New(testFacts())
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Facts(), s.Facts()) {
+		t.Fatalf("round trip changed facts:\n got: %+v\nwant: %+v", back.Facts(), s.Facts())
+	}
+	// The codec is deterministic: re-serialising the loaded store must be
+	// byte-identical.
+	var again bytes.Buffer
+	if err := back.WriteSnapshot(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("snapshot serialisation is not deterministic")
+	}
+}
+
+// TestSnapshotGolden pins the snapshot JSON layout against a checked-in
+// golden file, so accidental codec changes fail loudly instead of
+// silently orphaning saved snapshots. Regenerate with -update.
+func TestSnapshotGolden(t *testing.T) {
+	s := New(testFacts())
+	var buf bytes.Buffer
+	if err := s.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "snapshot.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("snapshot differs from golden:\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestReadSnapshotRejectsBadFiles(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"not json", "hello", "decode"},
+		{"wrong format", `{"format":"something-else","version":1,"count":0}`, "not an akb snapshot"},
+		{"future version", `{"format":"akb-snapshot","version":99,"count":0}`, "unsupported snapshot version"},
+		{"zero version", `{"format":"akb-snapshot","version":0,"count":0}`, "unsupported snapshot version"},
+		{"truncated", `{"format":"akb-snapshot","version":1,"count":3,"facts":[]}`, "truncated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadSnapshot(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSnapshotFileHelpers(t *testing.T) {
+	s := New(testFacts())
+	path := filepath.Join(t.TempDir(), "kb.akb")
+	if err := s.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("loaded %d facts, want %d", back.Len(), s.Len())
+	}
+}

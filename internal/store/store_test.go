@@ -1,0 +1,218 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"akb/internal/core"
+	"akb/internal/kb"
+)
+
+// testFacts is a small hand-built KB exercising every index dimension:
+// multiple classes, multi-truth attributes, hierarchy ancestors and an
+// uncovered (classless) entity.
+func testFacts() []Fact {
+	return []Fact{
+		{Entity: "Casablanca", Class: "Film", Attr: "director", Value: "Michael Curtiz", Confidence: 0.97, Sources: 5},
+		{Entity: "Casablanca", Class: "Film", Attr: "language", Value: "English", Confidence: 0.92, Sources: 4},
+		{Entity: "Casablanca", Class: "Film", Attr: "language", Value: "French", Confidence: 0.71, Sources: 2},
+		{Entity: "Susie Fang", Class: "", Attr: "birth place", Value: "Wuhan", Confidence: 0.88, Sources: 3,
+			Ancestors: []string{"Hubei", "China"}},
+		{Entity: "Moby Dick", Class: "Book", Attr: "author", Value: "Herman Melville", Confidence: 0.99, Sources: 7},
+		{Entity: "Moby Dick", Class: "Book", Attr: "setting", Value: "Nantucket", Confidence: 0.64, Sources: 1,
+			Ancestors: []string{"Massachusetts", "United States"}},
+		{Entity: "Adelaide Uni", Class: "University", Attr: "location", Value: "Adelaide", Confidence: 0.93, Sources: 4,
+			Ancestors: []string{"South Australia", "Australia"}},
+	}
+}
+
+func TestLookupMatchesScan(t *testing.T) {
+	s := New(testFacts())
+	queries := []Query{
+		{},
+		{Entity: "Casablanca"},
+		{Entity: "Casablanca", Attr: "language"},
+		{Entity: "missing"},
+		{Entity: "Casablanca", Attr: "missing"},
+		{Class: "Film"},
+		{Class: "Book", Attr: "author"},
+		{Attr: "language"},
+		{Attr: "language", Value: "French"},
+		{Value: "China"},     // hierarchy: matches Wuhan via ancestors
+		{Value: "Australia"}, // hierarchy: matches Adelaide
+		{Value: "Adelaide"},  // exact leaf
+		{Value: "missing"},
+		{Class: "Film", Value: "English"},
+		{Class: "University", Attr: "location", Value: "Australia"},
+	}
+	for _, q := range queries {
+		got, want := s.Lookup(q), s.Scan(q)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Lookup(%+v) != Scan:\n got: %+v\nwant: %+v", q, got, want)
+		}
+	}
+}
+
+func TestMultiTruthTriples(t *testing.T) {
+	s := New(testFacts())
+	vals := s.Triples("Casablanca", "language")
+	if len(vals) != 2 {
+		t.Fatalf("Triples = %+v, want both accepted languages", vals)
+	}
+	if vals[0].Value != "English" || vals[1].Value != "French" {
+		t.Errorf("values out of canonical order: %+v", vals)
+	}
+	if vals[0].Confidence != 0.92 || vals[0].Sources != 4 {
+		t.Errorf("annotations lost: %+v", vals[0])
+	}
+}
+
+func TestEntityAndCounts(t *testing.T) {
+	s := New(testFacts())
+	if s.Len() != 7 {
+		t.Errorf("Len = %d, want 7", s.Len())
+	}
+	if s.EntityCount() != 4 {
+		t.Errorf("EntityCount = %d, want 4", s.EntityCount())
+	}
+	if got := s.Classes(); !reflect.DeepEqual(got, []string{"Book", "Film", "University"}) {
+		t.Errorf("Classes = %v", got)
+	}
+	if facts := s.Entity("Moby Dick"); len(facts) != 2 {
+		t.Errorf("Entity(Moby Dick) = %+v", facts)
+	}
+	if facts := s.Entity("nobody"); facts != nil {
+		t.Errorf("unknown entity returned %+v", facts)
+	}
+}
+
+func TestNewDeduplicatesAndSorts(t *testing.T) {
+	dup := append(testFacts(), testFacts()...)
+	s := New(dup)
+	if s.Len() != 7 {
+		t.Fatalf("dedup failed: %d facts", s.Len())
+	}
+	facts := s.Facts()
+	for i := 1; i < len(facts); i++ {
+		if factLess(facts[i], facts[i-1]) {
+			t.Fatalf("facts out of order at %d: %+v before %+v", i, facts[i-1], facts[i])
+		}
+	}
+}
+
+// smallPipeline runs a scaled-down end-to-end pipeline for integration
+// tests; the result is cached per test binary since multiple tests want it.
+var smallPipeline = sync.OnceValues(func() (*core.Result, error) {
+	cfg := core.DefaultConfig()
+	cfg.World = kb.WorldConfig{Seed: 1, EntitiesPerClass: 10, AttrsPerEntity: 8}
+	cfg.Stream.TotalRecords = 3000
+	cfg.Sites.SitesPerClass = 2
+	cfg.Sites.PagesPerSite = 5
+	cfg.Corpus.DocsPerClass = 5
+	return core.New(core.WithConfig(cfg)).Run(context.Background())
+})
+
+// TestFromResultAgainstFusion cross-checks the snapshot against the live
+// fusion result it came from: every accepted truth appears exactly once
+// with its belief, and the indexed store answers the same as a scan.
+func TestFromResultAgainstFusion(t *testing.T) {
+	res, err := smallPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FromResult(res)
+	if s.Len() == 0 {
+		t.Fatal("empty store from live pipeline")
+	}
+	truths := 0
+	for _, d := range res.Fused().Decisions {
+		truths += len(d.Truths)
+	}
+	if s.Len() != truths {
+		t.Errorf("store has %d facts, fusion accepted %d truths", s.Len(), truths)
+	}
+	// Every fact must carry the entity's real class and a confidence.
+	for _, f := range s.Facts() {
+		if f.Class == "" {
+			t.Errorf("fact without class: %+v", f)
+		}
+		if f.Confidence <= 0 {
+			t.Errorf("fact without belief: %+v", f)
+		}
+	}
+	// Index answers must equal scan answers on live data too.
+	for _, class := range s.Classes() {
+		q := Query{Class: class}
+		if !reflect.DeepEqual(s.Lookup(q), s.Scan(q)) {
+			t.Errorf("Lookup != Scan for class %q", class)
+		}
+	}
+	ent := s.Facts()[0].Entity
+	for _, q := range []Query{{Entity: ent}, {Entity: ent, Attr: s.Facts()[0].Attr}} {
+		if !reflect.DeepEqual(s.Lookup(q), s.Scan(q)) {
+			t.Errorf("Lookup != Scan for %+v", q)
+		}
+	}
+}
+
+// TestConcurrentReaders hammers a shared store from many goroutines; run
+// under -race it proves the lock-free read path is actually lock-free
+// safe (nothing is written after New).
+func TestConcurrentReaders(t *testing.T) {
+	s := New(testFacts())
+	queries := []Query{
+		{Entity: "Casablanca"},
+		{Class: "Film"},
+		{Value: "Australia"},
+		{Attr: "language"},
+		{},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := queries[(g+i)%len(queries)]
+				if got, want := s.Lookup(q), s.Scan(q); len(got) != len(want) {
+					t.Errorf("goroutine %d: Lookup/%d Scan/%d for %+v", g, len(got), len(want), q)
+					return
+				}
+				s.Entity("Moby Dick")
+				s.Triples("Casablanca", "language")
+				s.Classes()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkLookupVsScanSmall(b *testing.B) {
+	// A quick sanity benchmark on synthetic data; the real criterion
+	// benchmark (BenchmarkStoreLookup) runs on pipeline-scale data at the
+	// repo root and writes BENCH_serve.json.
+	facts := make([]Fact, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		facts = append(facts, Fact{
+			Entity: fmt.Sprintf("E%d", i%500),
+			Class:  fmt.Sprintf("C%d", i%5),
+			Attr:   fmt.Sprintf("a%d", i%20),
+			Value:  fmt.Sprintf("v%d", i),
+		})
+	}
+	s := New(facts)
+	q := Query{Entity: "E42", Attr: "a2"}
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Lookup(q)
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Scan(q)
+		}
+	})
+}
