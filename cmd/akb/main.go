@@ -19,6 +19,10 @@
 //	fusion     fusion-method comparison on pipeline and copier workloads
 //	ablation   design-choice ablations (hierarchy, correlation, confidence)
 //	serve      serve the fused KB over an HTTP query API (flag: -snapshot)
+//	snapshot   verify / inspect store snapshot files (subcommands: verify, info)
+//	chaos-serve  drive the HTTP API under injected store faults and assert
+//	             the robustness invariants (panic isolation, shedding,
+//	             timeouts, reload-under-load)
 //	export     run the pipeline and write the augmented KB as N-Triples
 //	all        run every experiment in sequence
 package main
@@ -53,6 +57,8 @@ func commands() []command {
 		{"chaos", "fault-injection sweep: degradation vs failure rate", cmdChaos},
 		{"show", "print fused knowledge about one entity", cmdShow},
 		{"serve", "serve the fused KB over an HTTP query API", cmdServe},
+		{"snapshot", "verify / inspect store snapshot files", cmdSnapshot},
+		{"chaos-serve", "chaos harness for the serving path: inject faults, assert invariants", cmdChaosServe},
 		{"export", "export the augmented KB as N-Triples", cmdExport},
 		{"all", "run every experiment", cmdAll},
 	}

@@ -3,7 +3,10 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"akb/internal/store"
 )
 
 func TestFastCommandsRun(t *testing.T) {
@@ -59,6 +62,70 @@ func TestExportWritesNTriples(t *testing.T) {
 	}
 }
 
+// testSnapshotFile writes a small valid snapshot for CLI tests.
+func testSnapshotFile(t *testing.T) string {
+	t.Helper()
+	st := store.New([]store.Fact{
+		{Entity: "Casablanca", Class: "Film", Attr: "director", Value: "Michael Curtiz", Confidence: 0.97, Sources: 5},
+		{Entity: "Casablanca", Class: "Film", Attr: "language", Value: "English", Confidence: 0.92, Sources: 4},
+		{Entity: "Moby Dick", Class: "Book", Attr: "author", Value: "Herman Melville", Confidence: 0.99, Sources: 7},
+	})
+	path := filepath.Join(t.TempDir(), "kb.akb")
+	if err := st.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSnapshotVerifyCommand(t *testing.T) {
+	path := testSnapshotFile(t)
+	if err := cmdSnapshot([]string{"verify", path}); err != nil {
+		t.Fatalf("verify of valid snapshot: %v", err)
+	}
+	if err := cmdSnapshot([]string{"info", path}); err != nil {
+		t.Fatalf("info of valid snapshot: %v", err)
+	}
+
+	// Corrupt one byte: verify must fail with the checksum message.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[strings.Index(string(raw), "Casablanca")] = 'X'
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdSnapshot([]string{"verify", path})
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("verify of corrupt snapshot: %v", err)
+	}
+	if err := cmdSnapshot([]string{"info", path}); err == nil {
+		t.Error("info of corrupt snapshot reported success")
+	}
+
+	for _, bad := range [][]string{nil, {"verify"}, {"bogus", path}} {
+		if err := cmdSnapshot(bad); err == nil {
+			t.Errorf("args %v accepted", bad)
+		}
+	}
+}
+
+// TestChaosServeCommand runs the full serve-side chaos harness against a
+// small snapshot: faults injected, invariants asserted, exit clean.
+func TestChaosServeCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos run in -short")
+	}
+	path := testSnapshotFile(t)
+	err := cmdChaosServe([]string{
+		"-snapshot", path, "-requests", "160", "-workers", "8",
+		"-fail-prob", "0.3", "-timeout", "100ms", "-reloads", "4",
+	})
+	if err != nil {
+		t.Fatalf("chaos-serve invariants failed: %v", err)
+	}
+}
+
 func TestFlagErrors(t *testing.T) {
 	if err := cmdTable1([]string{"-bogus"}); err == nil {
 		t.Error("bogus flag accepted")
@@ -71,6 +138,15 @@ func TestFlagErrors(t *testing.T) {
 	}
 	if err := cmdChaos([]string{"-stages", " , "}); err == nil {
 		t.Error("empty chaos stage list accepted")
+	}
+	if err := cmdServe([]string{"-chaos-fail", "1.5"}); err == nil {
+		t.Error("out-of-range chaos-fail accepted")
+	}
+	if err := cmdChaosServe([]string{"-fail-prob", "-1"}); err == nil {
+		t.Error("negative fail-prob accepted")
+	}
+	if err := cmdChaosServe([]string{"-requests", "2", "-workers", "8"}); err == nil {
+		t.Error("fewer requests than workers accepted")
 	}
 }
 

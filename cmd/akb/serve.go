@@ -10,6 +10,7 @@ import (
 
 	"akb/internal/core"
 	"akb/internal/obs"
+	"akb/internal/resilience"
 	"akb/internal/serve"
 	"akb/internal/store"
 )
@@ -17,6 +18,17 @@ import (
 // cmdServe exposes the fused KB over HTTP. It either loads a snapshot
 // written by `akb pipeline -snapshot` or, without one, runs the pipeline
 // inline and serves the fresh result.
+//
+// Snapshot-backed servers hot-reload: SIGHUP or POST /v1/admin/reload
+// re-reads the snapshot off the serving path and swaps it in atomically;
+// a bad replacement (missing, corrupt, empty) leaves the old store
+// serving and /healthz reporting degraded.
+//
+// The -chaos-* flags wrap the store with deterministic fault injection
+// (internal/resilience.FaultPlan aimed at store reads) so the serving
+// path's robustness — panic isolation, timeouts, shedding — can be
+// exercised on a live process; see also `akb chaos-serve` for the
+// self-checking harness.
 func cmdServe(args []string) error {
 	fs, seed := newFlagSet("serve")
 	snapPath := fs.String("snapshot", "", "serve this snapshot file instead of running the pipeline")
@@ -24,9 +36,21 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 64, "maximum concurrent requests before shedding with 429")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout (503 on expiry)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown drain window on SIGTERM/SIGINT")
+	chaosFail := fs.Float64("chaos-fail", 0, "per-read probability of an injected store panic (0 disables chaos)")
+	chaosLatency := fs.Duration("chaos-latency", 0, "injected latency on every chaos-faulted store read")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for deterministic chaos decisions")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *chaosFail < 0 || *chaosFail > 1 {
+		return fmt.Errorf("-chaos-fail %v outside [0,1]", *chaosFail)
+	}
+
+	cfg := serve.DefaultConfig()
+	cfg.Addr = *addr
+	cfg.MaxInFlight = *maxInflight
+	cfg.RequestTimeout = *timeout
+	cfg.DrainTimeout = *drain
 
 	var st *store.Store
 	if *snapPath != "" {
@@ -36,6 +60,8 @@ func cmdServe(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "loaded snapshot %s: %d facts, %d entities, %d classes\n",
 			*snapPath, st.Len(), st.EntityCount(), len(st.Classes()))
+		path := *snapPath
+		cfg.Reloader = func() (*store.Store, error) { return store.ReadSnapshotFile(path) }
 	} else {
 		fmt.Fprintf(os.Stderr, "no -snapshot given; running pipeline (seed %d) ...\n", *seed)
 		res, err := core.New(core.WithSeed(*seed)).Run(context.Background())
@@ -43,19 +69,40 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("pipeline: %w", err)
 		}
 		st = store.FromResult(res)
-		fmt.Fprintf(os.Stderr, "pipeline done: serving %d facts, %d entities\n", st.Len(), st.EntityCount())
+		fmt.Fprintf(os.Stderr, "pipeline done: serving %d facts, %d entities (no snapshot: hot reload disabled)\n",
+			st.Len(), st.EntityCount())
 	}
 
-	cfg := serve.DefaultConfig()
-	cfg.Addr = *addr
-	cfg.MaxInFlight = *maxInflight
-	cfg.RequestTimeout = *timeout
-	cfg.DrainTimeout = *drain
+	if *chaosFail > 0 || *chaosLatency > 0 {
+		plan := &resilience.FaultPlan{
+			Seed:    *chaosSeed,
+			Default: resilience.StageFault{FailProb: *chaosFail, Transient: true, Latency: *chaosLatency},
+		}
+		ctl := store.NewChaosController(plan)
+		cfg.WrapQuerier = ctl.Wrap
+		fmt.Fprintf(os.Stderr, "CHAOS MODE: injecting store faults (%s) — 500s are expected, the process dying is not\n", plan)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	srv := serve.New(st, obs.NewRegistry(), cfg)
-	fmt.Fprintf(os.Stderr, "listening on %s (GET /healthz, /metrics, /v1/entity/{id}, /v1/triples/{entity}/{attr}, /v1/query)\n", cfg.Addr)
+
+	// SIGHUP = operator asked for a zero-downtime snapshot reload.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if info, err := srv.Reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "reload failed (still serving generation %d): %v\n", srv.Generation(), err)
+			} else {
+				fmt.Fprintf(os.Stderr, "reloaded: generation %d, %d facts, %d entities\n",
+					info.Generation, info.Facts, info.Entities)
+			}
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "listening on %s (GET /healthz, /readyz, /metrics, /v1/entity/{id}, /v1/triples/{entity}/{attr}, /v1/query; POST /v1/admin/reload; SIGHUP reloads)\n", cfg.Addr)
 	if err := srv.ListenAndServe(ctx); err != nil {
 		return err
 	}

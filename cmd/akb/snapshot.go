@@ -1,0 +1,59 @@
+package main
+
+import (
+	"fmt"
+
+	"akb/internal/store"
+)
+
+// cmdSnapshot inspects store snapshot files. Subcommands:
+//
+//	akb snapshot verify <file>...   integrity-check header, count, checksum
+//	akb snapshot info   <file>...   like verify, but keeps going and prints a row per file
+//
+// verify exits non-zero on the first bad file, which makes it usable as
+// a deploy gate: `akb snapshot verify kb.akb && akb serve -snapshot kb.akb`.
+func cmdSnapshot(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: akb snapshot verify|info <file>...")
+	}
+	sub, files := args[0], args[1:]
+	if len(files) == 0 {
+		return fmt.Errorf("akb snapshot %s: no snapshot files given", sub)
+	}
+	switch sub {
+	case "verify":
+		for _, path := range files {
+			info, err := store.VerifySnapshotFile(path)
+			if err != nil {
+				return fmt.Errorf("verify: %w", err)
+			}
+			fmt.Printf("%s: OK (version %d, %d facts, %s)\n", path, info.Version, info.Facts, checksumOrNone(info))
+		}
+		return nil
+	case "info":
+		bad := 0
+		for _, path := range files {
+			info, err := store.VerifySnapshotFile(path)
+			if err != nil {
+				bad++
+				fmt.Printf("%s: CORRUPT: %v\n", path, err)
+				continue
+			}
+			fmt.Printf("%s: version %d, %d facts, %s\n", path, info.Version, info.Facts, checksumOrNone(info))
+		}
+		if bad > 0 {
+			return fmt.Errorf("%d of %d snapshot(s) failed verification", bad, len(files))
+		}
+		return nil
+	default:
+		return fmt.Errorf("akb snapshot: unknown subcommand %q (want verify or info)", sub)
+	}
+}
+
+func checksumOrNone(info store.SnapshotInfo) string {
+	if info.Checksum == "" {
+		return "no checksum (v1)"
+	}
+	return info.Checksum
+}

@@ -6,16 +6,34 @@
 //
 // Routes:
 //
-//	GET /v1/entity/{id}              all fused knowledge about one entity
-//	GET /v1/triples/{entity}/{attr}  accepted values for one attribute
-//	GET /v1/query?class=&attr=&value=[&entity=&limit=]  filtered fact search
-//	GET /healthz                     liveness + store summary
-//	GET /metrics                     JSON dump of the obs metric registry
+//	GET  /v1/entity/{id}              all fused knowledge about one entity
+//	GET  /v1/triples/{entity}/{attr}  accepted values for one attribute
+//	GET  /v1/query?class=&attr=&value=[&entity=&limit=]  filtered fact search
+//	POST /v1/admin/reload             hot-swap to a freshly loaded snapshot
+//	GET  /healthz                     liveness + health state machine
+//	GET  /readyz                      readiness (503 while starting/draining)
+//	GET  /metrics                     JSON dump of the obs metric registry
 //
 // Production hygiene: per-request timeouts, a bounded in-flight request
-// count with 429 load shedding above it, a response cache over the
-// immutable store, graceful shutdown draining in-flight requests, and
-// akb_serve_* counters/histograms in the shared obs registry.
+// count with 429 load shedding above it, a generation-keyed response
+// cache, panic isolation (a handler panic becomes a 500 and a counter,
+// never a dead process), zero-downtime hot reload (SIGHUP wiring in cmd/
+// akb plus the admin endpoint swap the store atomically and keep serving
+// the old one if the new snapshot is bad), graceful shutdown draining
+// in-flight requests, and akb_serve_* counters/histograms in the shared
+// obs registry.
+//
+// The server does not serve one store; it serves a *generation*: an
+// atomically swappable handle bundling the store, the querier the
+// handlers actually read through (possibly chaos-wrapped), the
+// generation number and that generation's own response cache. A request
+// loads the handle once and sees one generation end to end; a reload
+// builds a fresh handle and swaps the pointer, so concurrent requests
+// are torn-read-free by construction and the old cache can never leak
+// stale bodies into the new generation.
+//
+// Every error response — 400, 404, 429, 500, 503 — uses the same JSON
+// envelope: {"error": "...", "status": N}.
 package serve
 
 import (
@@ -29,6 +47,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"akb/internal/obs"
@@ -49,11 +68,21 @@ type Config struct {
 	// DrainTimeout bounds graceful shutdown: how long in-flight requests
 	// may keep running after the shutdown signal.
 	DrainTimeout time.Duration
-	// CacheSize bounds the response cache (entries); 0 disables caching.
+	// CacheSize bounds the response cache (entries per store generation);
+	// 0 disables caching.
 	CacheSize int
 	// MaxResults caps /v1/query results when the request sends no
 	// explicit smaller limit.
 	MaxResults int
+	// Reloader loads a fresh store for hot reload (SIGHUP or
+	// POST /v1/admin/reload) — typically a closure re-reading the
+	// snapshot file, off the serving path. Nil disables reloading.
+	Reloader func() (*store.Store, error)
+	// WrapQuerier, when set, wraps the querier of every store generation
+	// the server adopts (initial store and each reload). The chaos
+	// harness injects faults here; it is also the seam for future
+	// sharded or remote queriers.
+	WrapQuerier func(store.Querier) store.Querier
 }
 
 // DefaultConfig returns production-leaning defaults.
@@ -68,20 +97,85 @@ func DefaultConfig() Config {
 	}
 }
 
-// Server serves one immutable store snapshot. Create with New.
+// Health is the server's lifecycle state machine:
+//
+//	starting ──load──▶ serving ◀──reload ok──┐
+//	                      │                  │
+//	                      └──reload failed──▶ degraded
+//	   any state ──shutdown──▶ draining
+//
+// Liveness (/healthz) is 200 in every state — the process is up.
+// Readiness (/readyz) is 200 only in serving and degraded: a degraded
+// server failed its last reload but still serves the previous good
+// generation, so it keeps taking traffic while operators see the state.
+type Health int32
+
+const (
+	// HealthStarting: constructed without a store; query routes 503
+	// until the first successful reload installs one.
+	HealthStarting Health = iota
+	// HealthServing: a good store generation is installed.
+	HealthServing
+	// HealthDegraded: the last reload failed; the previous generation
+	// is still serving.
+	HealthDegraded
+	// HealthDraining: shutdown began; in-flight requests are finishing.
+	HealthDraining
+)
+
+func (h Health) String() string {
+	switch h {
+	case HealthStarting:
+		return "starting"
+	case HealthServing:
+		return "serving"
+	case HealthDegraded:
+		return "degraded"
+	case HealthDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("health(%d)", int32(h))
+}
+
+// ready reports whether the state accepts query traffic.
+func (h Health) ready() bool { return h == HealthServing || h == HealthDegraded }
+
+// generation is the atomically swappable serving handle: one immutable
+// store, the querier handlers read through, and a response cache scoped
+// to exactly this generation. Swapping the pointer retires store and
+// cache together, which is what makes reload sound for cached bodies.
+type generation struct {
+	st    *store.Store
+	q     store.Querier
+	num   uint64
+	cache *respCache
+}
+
+// Server serves atomically swappable store generations. Create with New.
 type Server struct {
-	st      *store.Store
 	reg     *obs.Registry
 	cfg     Config
 	started time.Time
 
+	cur    atomic.Pointer[generation]
+	genSeq atomic.Uint64
+	health atomic.Int32
+
+	// reloadMu serialises reloads; lastReloadErr carries the most recent
+	// failure for /healthz (empty string pointer = none).
+	reloadMu      sync.Mutex
+	lastReloadErr atomic.Pointer[string]
+
 	inflight chan struct{}
-	cache    *respCache
 	handler  http.Handler
 }
 
 // New builds a server over the store. The registry may be nil (metrics
-// become no-ops and /metrics returns an empty snapshot).
+// become no-ops and /metrics returns an empty snapshot). A nil store is
+// allowed: the server starts in the "starting" state, answers health
+// probes, and begins serving after the first successful Reload — the
+// boot sequence `akb serve` uses so a bad snapshot is a clean error, not
+// a half-started process.
 func New(st *store.Store, reg *obs.Registry, cfg Config) *Server {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = DefaultConfig().MaxInFlight
@@ -96,19 +190,98 @@ func New(st *store.Store, reg *obs.Registry, cfg Config) *Server {
 		cfg.MaxResults = DefaultConfig().MaxResults
 	}
 	s := &Server{
-		st:       st,
 		reg:      reg,
 		cfg:      cfg,
 		started:  time.Now(),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
-		cache:    newRespCache(cfg.CacheSize),
+	}
+	s.setHealth(HealthStarting)
+	if st != nil {
+		s.install(st)
+		s.setHealth(HealthServing)
 	}
 	s.handler = s.buildHandler()
 	return s
 }
 
-// Handler returns the fully wrapped HTTP handler (shedding, timeout,
-// metrics, routing). Tests drive it through httptest.
+// install adopts a store as the next generation.
+func (s *Server) install(st *store.Store) *generation {
+	var q store.Querier = st
+	if s.cfg.WrapQuerier != nil {
+		q = s.cfg.WrapQuerier(q)
+	}
+	g := &generation{st: st, q: q, num: s.genSeq.Add(1), cache: newRespCache(s.cfg.CacheSize)}
+	s.cur.Store(g)
+	s.gauge("akb_serve_store_generation").Set(float64(g.num))
+	return g
+}
+
+func (s *Server) setHealth(h Health) {
+	s.health.Store(int32(h))
+	s.gauge("akb_serve_health_state").Set(float64(h))
+}
+
+// Health returns the current lifecycle state.
+func (s *Server) Health() Health { return Health(s.health.Load()) }
+
+// Generation returns the serving generation number (0 before any store
+// is installed).
+func (s *Server) Generation() uint64 {
+	if g := s.cur.Load(); g != nil {
+		return g.num
+	}
+	return 0
+}
+
+// ReloadInfo describes the generation a successful Reload installed.
+type ReloadInfo struct {
+	Generation uint64 `json:"generation"`
+	Facts      int    `json:"facts"`
+	Entities   int    `json:"entities"`
+}
+
+// Reload loads a fresh store through Config.Reloader and swaps it in
+// atomically. The load runs off the serving path: concurrent requests
+// keep reading the old generation until the successful swap, and on any
+// failure — no reloader, load error, empty store — the old generation
+// keeps serving, the server enters the degraded state and the error is
+// both returned and surfaced on /healthz. A later successful reload
+// clears the degradation.
+func (s *Server) Reload() (ReloadInfo, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	fail := func(err error) (ReloadInfo, error) {
+		s.counter("akb_serve_reload_failures_total").Inc()
+		msg := err.Error()
+		s.lastReloadErr.Store(&msg)
+		// Only a server that ever served can be degraded; a failed first
+		// load keeps it starting.
+		if s.Health() == HealthServing {
+			s.setHealth(HealthDegraded)
+		}
+		return ReloadInfo{}, err
+	}
+	if s.cfg.Reloader == nil {
+		return fail(errors.New("serve: no reloader configured (start with a snapshot to enable hot reload)"))
+	}
+	st, err := s.cfg.Reloader()
+	if err != nil {
+		return fail(fmt.Errorf("serve: reload: %w", err))
+	}
+	if st == nil || st.Len() == 0 {
+		return fail(errors.New("serve: reload: refusing to swap in an empty store"))
+	}
+	g := s.install(st)
+	s.lastReloadErr.Store(nil)
+	if h := s.Health(); h == HealthStarting || h == HealthDegraded {
+		s.setHealth(HealthServing)
+	}
+	s.counter("akb_serve_reloads_total").Inc()
+	return ReloadInfo{Generation: g.num, Facts: st.Len(), Entities: st.EntityCount()}, nil
+}
+
+// Handler returns the fully wrapped HTTP handler (recovery, shedding,
+// timeout, metrics, routing). Tests drive it through httptest.
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // ListenAndServe runs the server until ctx is cancelled (SIGTERM wiring
@@ -137,6 +310,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		}
 		return err
 	case <-ctx.Done():
+		s.setHealth(HealthDraining)
 		dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(dctx); err != nil {
@@ -147,23 +321,29 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 }
 
-// buildHandler assembles the middleware chain, outermost first: metrics +
-// load shedding, then the request timeout, then cache + routes.
+// buildHandler assembles the middleware chain, outermost first: panic
+// recovery, metrics + load shedding, the request timeout, then cache +
+// routes (each route handler carries its own recovery too, so a panic
+// inside a handler yields a JSON 500 instead of bubbling into the
+// timeout wrapper's plainer one).
 func (s *Server) buildHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.jsonRoute(s.handleHealthz, false))
+	mux.HandleFunc("GET /readyz", s.jsonRoute(s.handleReadyz, false))
 	mux.HandleFunc("GET /metrics", s.jsonRoute(s.handleMetrics, false))
 	mux.HandleFunc("GET /v1/entity/{id}", s.jsonRoute(s.handleEntity, true))
 	mux.HandleFunc("GET /v1/triples/{entity}/{attr}", s.jsonRoute(s.handleTriples, true))
 	mux.HandleFunc("GET /v1/query", s.jsonRoute(s.handleQuery, true))
+	mux.HandleFunc("POST /v1/admin/reload", s.jsonRoute(s.handleReload, false))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown route"})
+		writeJSON(w, http.StatusNotFound, errBody(http.StatusNotFound, "unknown route"))
 	})
 
 	var inner http.Handler = mux
-	inner = http.TimeoutHandler(inner, s.cfg.RequestTimeout, `{"error":"request timed out"}`)
+	inner = http.TimeoutHandler(inner, s.cfg.RequestTimeout,
+		`{"error":"request timed out","status":503}`)
 
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	shed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.counter("akb_serve_requests_total").Inc()
 		select {
 		case s.inflight <- struct{}{}:
@@ -172,7 +352,7 @@ func (s *Server) buildHandler() http.Handler {
 			// into fast 429s rather than collapse.
 			s.counter("akb_serve_shed_total").Inc()
 			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "server at capacity, retry later"})
+			writeJSON(w, http.StatusTooManyRequests, errBody(http.StatusTooManyRequests, "server at capacity, retry later"))
 			return
 		}
 		s.gauge("akb_serve_inflight").Add(1)
@@ -184,6 +364,33 @@ func (s *Server) buildHandler() http.Handler {
 		}()
 		inner.ServeHTTP(w, r)
 	})
+
+	// Outermost: last-resort panic isolation. Handler panics are caught
+	// per-route inside jsonRoute (where a clean JSON 500 can still be
+	// written); this layer catches anything escaping the middleware
+	// itself so a panic can never kill the serving goroutine's process.
+	return s.recoverPanic(shed)
+}
+
+// recoverPanic converts a panic below h into a 500 (when the response
+// has not started) and an akb_serve_panics increment. ErrAbortHandler
+// keeps its net/http meaning and is re-panicked.
+func (s *Server) recoverPanic(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(rec)
+			}
+			s.counter("akb_serve_panics").Inc()
+			writeJSON(w, http.StatusInternalServerError,
+				errBody(http.StatusInternalServerError, "internal error: %v", rec))
+		}()
+		h.ServeHTTP(w, r)
+	})
 }
 
 // routeResult is a handler's outcome before encoding.
@@ -192,45 +399,87 @@ type routeResult struct {
 	body   any
 }
 
+// errorBody is the uniform error envelope every non-2xx response uses.
 type errorBody struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Status int    `json:"status"`
 }
 
-// jsonRoute adapts a typed handler into an http.HandlerFunc, routing
-// successful cacheable responses through the response cache. The store is
-// immutable, so a cached body never goes stale.
-func (s *Server) jsonRoute(h func(*http.Request) routeResult, cacheable bool) http.HandlerFunc {
+func errBody(status int, format string, args ...any) errorBody {
+	return errorBody{Error: fmt.Sprintf(format, args...), Status: status}
+}
+
+func errRes(status int, format string, args ...any) routeResult {
+	return routeResult{status, errBody(status, format, args...)}
+}
+
+// jsonRoute adapts a typed handler into an http.HandlerFunc. The handler
+// reads exactly one store generation (loaded once, up front) and
+// successful cacheable responses go through that generation's cache, so
+// a hot swap mid-request can neither tear a response nor serve a stale
+// cached body under the new generation. A panicking handler yields a
+// JSON 500 and an akb_serve_panics increment.
+func (s *Server) jsonRoute(h func(*generation, *http.Request) routeResult, cacheable bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		g := s.cur.Load()
+		if g != nil {
+			w.Header().Set("X-Akb-Generation", strconv.FormatUint(g.num, 10))
+		}
+		if cacheable && g == nil {
+			writeJSON(w, http.StatusServiceUnavailable,
+				errBody(http.StatusServiceUnavailable, "no store loaded yet (state %s)", s.Health()))
+			return
+		}
 		key := r.URL.RequestURI()
 		if cacheable {
-			if status, body, ok := s.cache.get(key); ok {
+			if status, body, ok := g.cache.get(key); ok {
 				s.counter("akb_serve_cache_hits_total").Inc()
 				writeRaw(w, status, body)
 				return
 			}
 			s.counter("akb_serve_cache_misses_total").Inc()
 		}
-		res := h(r)
+		res, panicked := s.callRoute(h, g, r)
+		if panicked {
+			s.counter("akb_serve_panics").Inc()
+		}
 		if res.status >= http.StatusInternalServerError {
 			s.counter("akb_serve_errors_total").Inc()
 		}
 		raw, err := json.Marshal(res.body)
 		if err != nil {
 			s.counter("akb_serve_errors_total").Inc()
-			writeJSON(w, http.StatusInternalServerError, errorBody{Error: "encode response"})
+			writeJSON(w, http.StatusInternalServerError, errBody(http.StatusInternalServerError, "encode response"))
 			return
 		}
 		if cacheable && res.status == http.StatusOK {
-			s.cache.put(key, res.status, raw)
+			g.cache.put(key, res.status, raw)
 		}
 		writeRaw(w, res.status, raw)
 	}
 }
 
+// callRoute runs one typed handler with panic isolation: a panic becomes
+// a 500 routeResult instead of unwinding the connection goroutine.
+func (s *Server) callRoute(h func(*generation, *http.Request) routeResult, g *generation, r *http.Request) (res routeResult, panicked bool) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if err, ok := rec.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+			panic(rec)
+		}
+		panicked = true
+		res = errRes(http.StatusInternalServerError, "internal error: %v", rec)
+	}()
+	return h(g, r), false
+}
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
 	raw, err := json.Marshal(body)
 	if err != nil {
-		raw = []byte(`{"error":"encode response"}`)
+		raw = []byte(`{"error":"encode response","status":500}`)
 		status = http.StatusInternalServerError
 	}
 	writeRaw(w, status, raw)
@@ -258,24 +507,76 @@ func toValueOut(f store.Fact) valueOut {
 // entityID decodes a path segment into a store entity name. Entity IRIs
 // replace spaces with underscores, so /v1/entity/Film_3 and
 // /v1/entity/Film%203 both resolve.
-func (s *Server) entityID(raw string) string {
-	if len(s.st.Entity(raw)) > 0 {
+func entityID(q store.Querier, raw string) string {
+	if len(q.Entity(raw)) > 0 {
 		return raw
 	}
 	return strings.ReplaceAll(raw, "_", " ")
 }
 
-func (s *Server) handleHealthz(*http.Request) routeResult {
-	return routeResult{http.StatusOK, struct {
-		Status   string   `json:"status"`
-		Facts    int      `json:"facts"`
-		Entities int      `json:"entities"`
-		Classes  []string `json:"classes"`
-		UptimeMS int64    `json:"uptime_ms"`
-	}{"ok", s.st.Len(), s.st.EntityCount(), s.st.Classes(), time.Since(s.started).Milliseconds()}}
+// healthzBody is the /healthz (and /readyz) response shape.
+type healthzBody struct {
+	Status          string   `json:"status"`
+	Ready           bool     `json:"ready"`
+	Generation      uint64   `json:"generation"`
+	Facts           int      `json:"facts"`
+	Entities        int      `json:"entities"`
+	Classes         []string `json:"classes,omitempty"`
+	UptimeMS        int64    `json:"uptime_ms"`
+	LastReloadError string   `json:"last_reload_error,omitempty"`
 }
 
-func (s *Server) handleMetrics(*http.Request) routeResult {
+func (s *Server) healthBody(g *generation) healthzBody {
+	h := s.Health()
+	body := healthzBody{
+		Status:   h.String(),
+		Ready:    h.ready(),
+		UptimeMS: time.Since(s.started).Milliseconds(),
+	}
+	if g != nil {
+		// Summary numbers come straight from the immutable store, not the
+		// (possibly chaos-wrapped) querier: liveness must stay reliable
+		// under injected faults.
+		body.Generation = g.num
+		body.Facts = g.st.Len()
+		body.Entities = g.st.EntityCount()
+		body.Classes = g.st.Classes()
+	}
+	if msg := s.lastReloadErr.Load(); msg != nil {
+		body.LastReloadError = *msg
+	}
+	return body
+}
+
+// handleHealthz is the liveness probe: 200 in every state, because the
+// process is demonstrably up; the body carries the state machine.
+func (s *Server) handleHealthz(g *generation, _ *http.Request) routeResult {
+	return routeResult{http.StatusOK, s.healthBody(g)}
+}
+
+// handleReadyz is the readiness probe: 200 only when query traffic is
+// being served (serving or degraded), 503 while starting or draining so
+// load balancers route around the instance.
+func (s *Server) handleReadyz(g *generation, _ *http.Request) routeResult {
+	body := s.healthBody(g)
+	if !body.Ready {
+		return routeResult{http.StatusServiceUnavailable, body}
+	}
+	return routeResult{http.StatusOK, body}
+}
+
+func (s *Server) handleReload(_ *generation, _ *http.Request) routeResult {
+	info, err := s.Reload()
+	if err != nil {
+		return errRes(http.StatusInternalServerError, "%v", err)
+	}
+	return routeResult{http.StatusOK, struct {
+		Status string `json:"status"`
+		ReloadInfo
+	}{"reloaded", info}}
+}
+
+func (s *Server) handleMetrics(_ *generation, _ *http.Request) routeResult {
 	snap := s.reg.Snapshot()
 	if snap == nil {
 		snap = []obs.Metric{}
@@ -285,11 +586,11 @@ func (s *Server) handleMetrics(*http.Request) routeResult {
 	}{snap}}
 }
 
-func (s *Server) handleEntity(r *http.Request) routeResult {
-	id := s.entityID(r.PathValue("id"))
-	facts := s.st.Entity(id)
+func (s *Server) handleEntity(g *generation, r *http.Request) routeResult {
+	id := entityID(g.q, r.PathValue("id"))
+	facts := g.q.Entity(id)
 	if len(facts) == 0 {
-		return routeResult{http.StatusNotFound, errorBody{Error: fmt.Sprintf("no fused knowledge about entity %q", id)}}
+		return errRes(http.StatusNotFound, "no fused knowledge about entity %q", id)
 	}
 	attrs := make(map[string][]valueOut)
 	for _, f := range facts {
@@ -303,19 +604,18 @@ func (s *Server) handleEntity(r *http.Request) routeResult {
 	}{id, facts[0].Class, len(facts), attrs}}
 }
 
-func (s *Server) handleTriples(r *http.Request) routeResult {
-	entity := s.entityID(r.PathValue("entity"))
+func (s *Server) handleTriples(g *generation, r *http.Request) routeResult {
+	entity := entityID(g.q, r.PathValue("entity"))
 	// Attribute names are canonical with spaces; accept the underscore
 	// form too, mirroring how attribute IRIs are minted.
 	attr := r.PathValue("attr")
-	facts := s.st.Triples(entity, attr)
+	facts := g.q.Triples(entity, attr)
 	if len(facts) == 0 {
 		attr = strings.ReplaceAll(attr, "_", " ")
-		facts = s.st.Triples(entity, attr)
+		facts = g.q.Triples(entity, attr)
 	}
 	if len(facts) == 0 {
-		return routeResult{http.StatusNotFound, errorBody{
-			Error: fmt.Sprintf("no accepted values for (%s, %s)", entity, attr)}}
+		return errRes(http.StatusNotFound, "no accepted values for (%s, %s)", entity, attr)
 	}
 	values := make([]valueOut, 0, len(facts))
 	for _, f := range facts {
@@ -328,13 +628,13 @@ func (s *Server) handleTriples(r *http.Request) routeResult {
 	}{entity, attr, values}}
 }
 
-func (s *Server) handleQuery(r *http.Request) routeResult {
+func (s *Server) handleQuery(g *generation, r *http.Request) routeResult {
 	qs := r.URL.Query()
 	for param := range qs {
 		switch param {
 		case "entity", "class", "attr", "value", "limit":
 		default:
-			return routeResult{http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unknown query parameter %q", param)}}
+			return errRes(http.StatusBadRequest, "unknown query parameter %q", param)
 		}
 	}
 	q := store.Query{
@@ -344,20 +644,19 @@ func (s *Server) handleQuery(r *http.Request) routeResult {
 		Value:  qs.Get("value"),
 	}
 	if q == (store.Query{}) {
-		return routeResult{http.StatusBadRequest, errorBody{
-			Error: "at least one of entity, class, attr, value is required"}}
+		return errRes(http.StatusBadRequest, "at least one of entity, class, attr, value is required")
 	}
 	limit := s.cfg.MaxResults
 	if raw := qs.Get("limit"); raw != "" {
 		n, err := strconv.Atoi(raw)
 		if err != nil || n <= 0 {
-			return routeResult{http.StatusBadRequest, errorBody{Error: fmt.Sprintf("invalid limit %q", raw)}}
+			return errRes(http.StatusBadRequest, "invalid limit %q", raw)
 		}
 		if n < limit {
 			limit = n
 		}
 	}
-	facts := s.st.Lookup(q)
+	facts := g.q.Lookup(q)
 	total := len(facts)
 	truncated := false
 	if len(facts) > limit {
@@ -368,21 +667,23 @@ func (s *Server) handleQuery(r *http.Request) routeResult {
 		facts = []store.Fact{}
 	}
 	return routeResult{http.StatusOK, struct {
-		Count     int          `json:"count"`
-		Total     int          `json:"total"`
-		Truncated bool         `json:"truncated,omitempty"`
-		Facts     []store.Fact `json:"facts"`
-	}{len(facts), total, truncated, facts}}
+		Generation uint64       `json:"generation"`
+		Count      int          `json:"count"`
+		Total      int          `json:"total"`
+		Truncated  bool         `json:"truncated,omitempty"`
+		Facts      []store.Fact `json:"facts"`
+	}{g.num, len(facts), total, truncated, facts}}
 }
 
 func (s *Server) counter(name string) *obs.Counter     { return s.reg.Counter(name) }
 func (s *Server) gauge(name string) *obs.Gauge         { return s.reg.Gauge(name) }
 func (s *Server) histogram(name string) *obs.Histogram { return s.reg.Histogram(name, nil) }
 
-// respCache is a bounded response cache over the immutable store. It
-// never evicts (the key space is finite and the store never changes);
-// once full it simply stops admitting, which keeps the implementation
-// free of LRU bookkeeping on the hot path.
+// respCache is a bounded response cache over one immutable store
+// generation. It never evicts (the key space is finite and the
+// generation never changes; a reload retires the whole cache with its
+// generation); once full it simply stops admitting, which keeps the
+// implementation free of LRU bookkeeping on the hot path.
 type respCache struct {
 	mu     sync.RWMutex
 	max    int

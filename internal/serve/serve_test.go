@@ -156,8 +156,14 @@ func TestHealthzAndMetrics(t *testing.T) {
 	_, ts := testServer(t, DefaultConfig())
 
 	status, body := get(t, ts.URL+"/healthz")
-	if status != http.StatusOK || body["status"] != "ok" || body["facts"] != float64(5) {
+	if status != http.StatusOK || body["status"] != "serving" || body["facts"] != float64(5) {
 		t.Errorf("healthz = %d %v", status, body)
+	}
+	if body["ready"] != true || body["generation"] != float64(1) {
+		t.Errorf("healthz readiness fields: %v", body)
+	}
+	if status, _ := get(t, ts.URL+"/readyz"); status != http.StatusOK {
+		t.Errorf("readyz while serving = %d", status)
 	}
 
 	// Drive one query so serve counters exist, then check /metrics.
@@ -230,9 +236,9 @@ func TestResponseCache(t *testing.T) {
 	// Error responses are not cached.
 	get(t, ts.URL+"/v1/entity/Nobody")
 	get(t, ts.URL+"/v1/entity/Nobody")
-	for _, k := range s.cache.Keys() {
+	for _, k := range s.cur.Load().cache.Keys() {
 		if strings.Contains(k, "Nobody") {
-			t.Errorf("404 response cached: %v", s.cache.Keys())
+			t.Errorf("404 response cached: %v", s.cur.Load().cache.Keys())
 		}
 	}
 }

@@ -1,0 +1,26 @@
+package store
+
+// Querier is the read surface of a store that the HTTP layer
+// (internal/serve) depends on. *Store implements it natively; wrappers
+// such as the chaos-injecting querier in chaos.go implement it by
+// delegation, so the serving path can be composed with fault injection
+// (or, later, sharding and remote stores) without the handlers knowing.
+//
+// Every method must be safe for unsynchronised concurrent use, like the
+// immutable *Store it usually wraps.
+type Querier interface {
+	// Len returns the number of facts.
+	Len() int
+	// EntityCount returns the number of distinct entities.
+	EntityCount() int
+	// Classes returns the distinct entity classes in sorted order.
+	Classes() []string
+	// Entity returns every fact about the entity in canonical order.
+	Entity(id string) []Fact
+	// Triples returns the accepted values for (entity, attr).
+	Triples(entity, attr string) []Fact
+	// Lookup answers a query; empty fields are wildcards.
+	Lookup(q Query) []Fact
+}
+
+var _ Querier = (*Store)(nil)

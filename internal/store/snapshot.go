@@ -1,10 +1,14 @@
 package store
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Snapshot format constants. The codec is deterministic: facts serialise
@@ -17,61 +21,163 @@ const (
 	// SnapshotVersion is the current codec version. ReadSnapshot accepts
 	// any version from 1 up to this and rejects newer files, so old
 	// binaries fail loudly instead of misreading future snapshots.
-	SnapshotVersion = 1
+	//
+	// Version history:
+	//   1  format/version/count header + facts
+	//   2  adds a SHA-256 checksum over the fact payload, so corruption
+	//      (torn writes, bit rot, hand edits) is detected instead of
+	//      served; v1 files without a checksum still load
+	SnapshotVersion = 2
 )
 
+// checksumPrefix tags the hash algorithm in the checksum field, leaving
+// room to rotate algorithms in a later codec version.
+const checksumPrefix = "sha256:"
+
 // snapshotFile is the on-disk layout. The fact count is recorded so a
-// truncated file is detected even though JSON decoding would "succeed".
+// truncated file is detected even though JSON decoding would "succeed";
+// the checksum (v2+) catches every other byte-level corruption of the
+// payload.
 type snapshotFile struct {
-	Format  string `json:"format"`
-	Version int    `json:"version"`
-	Count   int    `json:"count"`
-	Facts   []Fact `json:"facts"`
+	Format   string `json:"format"`
+	Version  int    `json:"version"`
+	Count    int    `json:"count"`
+	Checksum string `json:"checksum,omitempty"`
+	Facts    []Fact `json:"facts"`
+}
+
+// factsChecksum hashes the canonical (compact JSON) encoding of the fact
+// payload. Hashing the re-marshalled facts rather than raw file bytes
+// makes the checksum independent of indentation, so it survives
+// pretty-printing — but any change to fact *content* fails verification.
+func factsChecksum(facts []Fact) (string, error) {
+	raw, err := json.Marshal(facts)
+	if err != nil {
+		return "", fmt.Errorf("store: checksum facts: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return checksumPrefix + hex.EncodeToString(sum[:]), nil
+}
+
+// SnapshotInfo describes a verified snapshot; see VerifySnapshotFile.
+type SnapshotInfo struct {
+	Path     string `json:"path,omitempty"`
+	Version  int    `json:"version"`
+	Facts    int    `json:"facts"`
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // WriteSnapshot serialises the store.
 func (s *Store) WriteSnapshot(w io.Writer) error {
+	sum, err := factsChecksum(s.facts)
+	if err != nil {
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(snapshotFile{
-		Format:  SnapshotFormat,
-		Version: SnapshotVersion,
-		Count:   len(s.facts),
-		Facts:   s.facts,
+		Format:   SnapshotFormat,
+		Version:  SnapshotVersion,
+		Count:    len(s.facts),
+		Checksum: sum,
+		Facts:    s.facts,
 	})
+}
+
+// validate checks a decoded snapshot's header, count and (v2+) checksum,
+// returning its description. Shared by ReadSnapshot and the verify path.
+func (sf *snapshotFile) validate() (SnapshotInfo, error) {
+	info := SnapshotInfo{Version: sf.Version, Facts: len(sf.Facts), Checksum: sf.Checksum}
+	if sf.Format != SnapshotFormat {
+		return info, fmt.Errorf("store: not an akb snapshot (format %q, want %q)", sf.Format, SnapshotFormat)
+	}
+	if sf.Version < 1 || sf.Version > SnapshotVersion {
+		return info, fmt.Errorf("store: unsupported snapshot version %d (this build reads 1..%d)", sf.Version, SnapshotVersion)
+	}
+	if sf.Count != len(sf.Facts) {
+		return info, fmt.Errorf("store: snapshot truncated: header says %d facts, found %d", sf.Count, len(sf.Facts))
+	}
+	if sf.Version >= 2 {
+		if sf.Checksum == "" {
+			return info, fmt.Errorf("store: snapshot version %d has no checksum", sf.Version)
+		}
+		sum, err := factsChecksum(sf.Facts)
+		if err != nil {
+			return info, err
+		}
+		if sum != sf.Checksum {
+			return info, fmt.Errorf("store: snapshot checksum mismatch: header %s, payload %s — file is corrupt", sf.Checksum, sum)
+		}
+	}
+	return info, nil
 }
 
 // ReadSnapshot loads a snapshot written by WriteSnapshot and rebuilds the
 // indexes. The snapshot stores only facts; indexes are always derived, so
-// codec and index layout can evolve independently.
+// codec and index layout can evolve independently. Version 2 files are
+// checksum-verified; version 1 files (no checksum) still load.
 func ReadSnapshot(r io.Reader) (*Store, error) {
 	var sf snapshotFile
 	if err := json.NewDecoder(r).Decode(&sf); err != nil {
 		return nil, fmt.Errorf("store: decode snapshot: %w", err)
 	}
-	if sf.Format != SnapshotFormat {
-		return nil, fmt.Errorf("store: not an akb snapshot (format %q, want %q)", sf.Format, SnapshotFormat)
-	}
-	if sf.Version < 1 || sf.Version > SnapshotVersion {
-		return nil, fmt.Errorf("store: unsupported snapshot version %d (this build reads 1..%d)", sf.Version, SnapshotVersion)
-	}
-	if sf.Count != len(sf.Facts) {
-		return nil, fmt.Errorf("store: snapshot truncated: header says %d facts, found %d", sf.Count, len(sf.Facts))
+	if _, err := sf.validate(); err != nil {
+		return nil, err
 	}
 	return New(sf.Facts), nil
 }
 
-// WriteSnapshotFile writes the snapshot to a file.
-func (s *Store) WriteSnapshotFile(path string) error {
-	f, err := os.Create(path)
+// WriteSnapshotFile writes the snapshot to path atomically: the bytes go
+// to a temporary file in the target directory, are fsynced, and the temp
+// file is renamed over path only once it is durably complete. A crash at
+// any point leaves either the previous file intact or a stray .tmp file
+// that can never pass verification as the target — never a torn or
+// half-new snapshot under the real name.
+func (s *Store) WriteSnapshotFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return err
+		return fmt.Errorf("store: snapshot temp file: %w", err)
 	}
-	if err := s.WriteSnapshot(f); err != nil {
-		f.Close()
-		return err
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	if err = writeSyncClose(f, s.WriteSnapshot); err != nil {
+		return fmt.Errorf("store: write snapshot %s: %w", path, err)
 	}
-	return f.Close()
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	// Durability of the rename itself requires the directory entry to hit
+	// disk; best-effort, since not every platform lets you fsync a dir.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// syncWriteCloser is the slice of *os.File the snapshot writer needs;
+// tests substitute failing fakes to pin the error-joining contract.
+type syncWriteCloser interface {
+	io.WriteCloser
+	Sync() error
+}
+
+// writeSyncClose runs write against f, fsyncs, and closes it, joining
+// every error instead of letting a failed close vanish behind a failed
+// write (or vice versa) — the fd-leak/error-swallow bug the old
+// WriteSnapshotFile had.
+func writeSyncClose(f syncWriteCloser, write func(io.Writer) error) error {
+	werr := write(f)
+	var serr error
+	if werr == nil {
+		serr = f.Sync()
+	}
+	return errors.Join(werr, serr, f.Close())
 }
 
 // ReadSnapshotFile loads a snapshot from a file.
@@ -81,5 +187,31 @@ func ReadSnapshotFile(path string) (*Store, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadSnapshot(f)
+	st, err := ReadSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return st, nil
+}
+
+// VerifySnapshotFile checks a snapshot's integrity — header, fact count
+// and (v2+) checksum — without building indexes, and reports what it
+// found. It backs `akb snapshot verify` and the pre-swap validation of
+// the server's hot reload.
+func VerifySnapshotFile(path string) (SnapshotInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return SnapshotInfo{Path: path}, err
+	}
+	defer f.Close()
+	var sf snapshotFile
+	if err := json.NewDecoder(f).Decode(&sf); err != nil {
+		return SnapshotInfo{Path: path}, fmt.Errorf("%s: store: decode snapshot: %w", path, err)
+	}
+	info, err := sf.validate()
+	info.Path = path
+	if err != nil {
+		return info, fmt.Errorf("%s: %w", path, err)
+	}
+	return info, nil
 }
