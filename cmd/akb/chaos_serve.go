@@ -37,6 +37,8 @@ import (
 //	shedding   overload sheds 429 with a numeric Retry-After
 //	reload     snapshot reloads under load swap atomically; none tears
 //	clean      zero 5xx once fault injection stops; /healthz serving
+//	ids        every response — 200s, 429s, 500s, 503s — carries a
+//	           non-empty X-Request-ID, unique across the whole run
 //
 // Exit status is non-zero when any invariant fails, so CI can gate on it.
 func cmdChaosServe(args []string) error {
@@ -133,13 +135,14 @@ func cmdChaosServe(args []string) error {
 			time.Sleep(5 * time.Millisecond)
 		}
 	}()
-	faulted := hammer(base, targets, *requests, *workers)
+	ids := newIDTracker()
+	faulted := hammer(base, targets, *requests, *workers, ids)
 	<-reloadDone
 	panicsAfterFaults := reg.Counter("akb_serve_panics").Value()
 
 	// --- phase 2: faults off; service must be spotless ---------------
 	ctl.SetEnabled(false)
-	clean := hammer(base, targets, *requests, *workers)
+	clean := hammer(base, targets, *requests, *workers, ids)
 
 	status, health := probeHealth(base)
 
@@ -162,6 +165,10 @@ func cmdChaosServe(args []string) error {
 		{"clean after chaos", fmt.Sprintf("post-fault phase: %d requests, %d x 5xx, health %q", clean.total(), clean.serverErrors(), health),
 			clean.serverErrors() == 0 && health == "serving"},
 	}
+	unique, missingIDs, dupIDs := ids.stats()
+	checks = append(checks, invariant{
+		"request ids", fmt.Sprintf("%d unique X-Request-ID across both phases, %d missing, %d duplicated (panics, sheds and timeouts included)", unique, missingIDs, dupIDs),
+		unique > 0 && missingIDs == 0 && dupIDs == 0})
 	if cfg.Reloader != nil {
 		checks = append(checks, invariant{
 			"reload under load", fmt.Sprintf("%d/%d hot reloads swapped in while hammered", reloadOK, *reloads),
@@ -190,6 +197,37 @@ func cmdChaosServe(args []string) error {
 	}
 	fmt.Println("\nall invariants held: the serving path survives panics, latency spikes, overload and hot reloads")
 	return nil
+}
+
+// idTracker enforces the request-identity contract across the whole
+// chaos run (both phases): every response must carry a non-empty
+// X-Request-ID and no ID may repeat.
+type idTracker struct {
+	mu      sync.Mutex
+	seen    map[string]bool
+	missing int // responses without an ID
+	dups    int // IDs seen more than once
+}
+
+func newIDTracker() *idTracker { return &idTracker{seen: make(map[string]bool)} }
+
+func (it *idTracker) record(id string) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	switch {
+	case id == "":
+		it.missing++
+	case it.seen[id]:
+		it.dups++
+	default:
+		it.seen[id] = true
+	}
+}
+
+func (it *idTracker) stats() (unique, missing, dups int) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return len(it.seen), it.missing, it.dups
 }
 
 // tally aggregates one hammering phase.
@@ -221,8 +259,9 @@ func (t *tally) serverErrors() int {
 }
 
 // hammer drives requests/workers concurrent clients over the target
-// routes and classifies every response.
-func hammer(base string, targets []string, requests, workers int) *tally {
+// routes and classifies every response. The shared ids tracker spans
+// phases so uniqueness is asserted across the whole run.
+func hammer(base string, targets []string, requests, workers int, ids *idTracker) *tally {
 	res := &tally{counts: map[int]int{}}
 	client := &http.Client{Timeout: 5 * time.Second}
 	per := requests / workers
@@ -242,6 +281,7 @@ func hammer(base string, targets []string, requests, workers int) *tally {
 				}
 				raw, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
+				ids.record(resp.Header.Get(serve.RequestIDHeader))
 				classify(res, resp, raw)
 			}
 		}(w)

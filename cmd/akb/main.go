@@ -19,6 +19,8 @@
 //	fusion     fusion-method comparison on pipeline and copier workloads
 //	ablation   design-choice ablations (hierarchy, correlation, confidence)
 //	serve      serve the fused KB over an HTTP query API (flag: -snapshot)
+//	profile    run the pipeline under CPU+heap profiling; writes .pprof files
+//	           plus a per-stage attribution table (flag: -out)
 //	snapshot   verify / inspect store snapshot files (subcommands: verify, info)
 //	chaos-serve  drive the HTTP API under injected store faults and assert
 //	             the robustness invariants (panic isolation, shedding,
@@ -57,6 +59,7 @@ func commands() []command {
 		{"chaos", "fault-injection sweep: degradation vs failure rate", cmdChaos},
 		{"show", "print fused knowledge about one entity", cmdShow},
 		{"serve", "serve the fused KB over an HTTP query API", cmdServe},
+		{"profile", "run the pipeline under CPU+heap profiling with per-stage attribution", cmdProfile},
 		{"snapshot", "verify / inspect store snapshot files", cmdSnapshot},
 		{"chaos-serve", "chaos harness for the serving path: inject faults, assert invariants", cmdChaosServe},
 		{"export", "export the augmented KB as N-Triples", cmdExport},

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"time"
+
+	"akb/internal/core"
+	"akb/internal/eval"
+	"akb/internal/obs"
+)
+
+// cmdProfile runs the pipeline under the Go profilers and correlates
+// the result with the obs stage spans — the tooling the ROADMAP's "make
+// pipeline parallelism actually pay" item needs: BENCH_parallel.json
+// says parallelism loses (~0.95x), the stage spans say where the time
+// goes per stage, and the pprof files say where it goes per function.
+//
+// It writes into -out:
+//
+//	cpu.pprof    CPU profile across all -runs pipeline executions
+//	heap.pprof   post-run heap profile (after a GC, so live objects)
+//	stages.json  the per-stage attribution table, machine-readable
+//
+// and prints the attribution table: per stage, total wall time across
+// runs, share of summed stage time, attempts and statements. Inspect
+// the profiles with `go tool pprof <file>`.
+func cmdProfile(args []string) error {
+	fs, seed := newFlagSet("profile")
+	outDir := fs.String("out", "profile", "directory for cpu.pprof, heap.pprof and stages.json")
+	parallel := fs.Int("parallel", 0, "DAG-scheduler parallelism for the profiled runs (0 or 1: serial)")
+	runs := fs.Int("runs", 1, "pipeline executions under the profiler (more runs, more CPU samples)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *runs < 1 {
+		return fmt.Errorf("-runs %d < 1", *runs)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	opts := []core.Option{core.WithSeed(*seed)}
+	if *parallel != 0 {
+		opts = append(opts, core.WithParallelism(*parallel))
+	}
+
+	cpuPath := filepath.Join(*outDir, "cpu.pprof")
+	cpuFile, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(cpuFile); err != nil {
+		cpuFile.Close()
+		return fmt.Errorf("start cpu profile: %w", err)
+	}
+
+	run := obs.NewRun()
+	ctx := obs.Into(context.Background(), run)
+	wallStart := time.Now()
+	var runErr error
+	for i := 0; i < *runs; i++ {
+		if _, err := core.New(opts...).Run(ctx); err != nil {
+			runErr = fmt.Errorf("pipeline run %d: %w", i+1, err)
+			break
+		}
+	}
+	wall := time.Since(wallStart)
+	pprof.StopCPUProfile()
+	if err := cpuFile.Close(); err != nil {
+		return err
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	// Heap after a forced GC: live allocations, not garbage awaiting
+	// collection.
+	runtime.GC()
+	heapPath := filepath.Join(*outDir, "heap.pprof")
+	heapFile, err := os.Create(heapPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.WriteHeapProfile(heapFile); err != nil {
+		heapFile.Close()
+		return fmt.Errorf("write heap profile: %w", err)
+	}
+	if err := heapFile.Close(); err != nil {
+		return err
+	}
+
+	rr, err := run.Report(nil)
+	if err != nil {
+		return err
+	}
+	costs := profileAttribution(rr)
+	if err := writeJSONFile(filepath.Join(*outDir, "stages.json"), struct {
+		Runs       int         `json:"runs"`
+		Parallel   int         `json:"parallel"`
+		WallNS     int64       `json:"wall_ns"`
+		Stages     []stageCost `json:"stages"`
+		CPUProfile string      `json:"cpu_profile"`
+		Heap       string      `json:"heap_profile"`
+	}{*runs, *parallel, wall.Nanoseconds(), costs, cpuPath, heapPath}); err != nil {
+		return err
+	}
+
+	fmt.Printf("Profiled %d run(s), parallel=%d, wall %s\n", *runs, *parallel, wall.Round(time.Millisecond))
+	fmt.Println("\nPer-stage attribution (stage spans across all runs):")
+	fmt.Print(eval.FormatTable(
+		[]string{"Stage", "Total", "Share", "Spans", "Statements"}, attributionRows(costs)))
+	fmt.Printf("\nProfiles: %s, %s (inspect with `go tool pprof <file>`); table in %s\n",
+		cpuPath, heapPath, filepath.Join(*outDir, "stages.json"))
+	return nil
+}
+
+// stageCost aggregates every span a stage produced across the profiled
+// runs.
+type stageCost struct {
+	Stage      string  `json:"stage"`
+	DurationNS int64   `json:"duration_ns"`
+	Share      float64 `json:"share"`
+	Spans      int     `json:"spans"`
+	Statements int     `json:"statements,omitempty"`
+}
+
+// profileAttribution folds a RunReport's stage spans into per-stage
+// totals, ordered by descending cost (ties by name, so output is
+// deterministic). Share is each stage's fraction of summed stage time —
+// the quantity to compare against pprof's per-function view.
+func profileAttribution(rr *obs.RunReport) []stageCost {
+	byName := map[string]*stageCost{}
+	order := []string{}
+	for _, span := range stageSpans(rr) {
+		c, ok := byName[span.Name]
+		if !ok {
+			c = &stageCost{Stage: span.Name}
+			byName[span.Name] = c
+			order = append(order, span.Name)
+		}
+		c.DurationNS += span.DurationNS
+		c.Spans++
+		if n, ok := stageStatements(rr, span); ok {
+			c.Statements = n
+		}
+	}
+	var total int64
+	for _, name := range order {
+		total += byName[name].DurationNS
+	}
+	out := make([]stageCost, 0, len(order))
+	for _, name := range order {
+		c := *byName[name]
+		if total > 0 {
+			c.Share = float64(c.DurationNS) / float64(total)
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DurationNS != out[j].DurationNS {
+			return out[i].DurationNS > out[j].DurationNS
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}
+
+func attributionRows(costs []stageCost) [][]string {
+	rows := make([][]string, 0, len(costs))
+	for _, c := range costs {
+		stmts := "-"
+		if c.Statements > 0 {
+			stmts = strconv.Itoa(c.Statements)
+		}
+		rows = append(rows, []string{
+			c.Stage,
+			time.Duration(c.DurationNS).Round(10 * time.Microsecond).String(),
+			fmt.Sprintf("%.1f%%", c.Share*100),
+			strconv.Itoa(c.Spans),
+			stmts,
+		})
+	}
+	return rows
+}

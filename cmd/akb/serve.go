@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -10,6 +11,7 @@ import (
 
 	"akb/internal/core"
 	"akb/internal/obs"
+	"akb/internal/obs/logx"
 	"akb/internal/resilience"
 	"akb/internal/serve"
 	"akb/internal/store"
@@ -39,11 +41,19 @@ func cmdServe(args []string) error {
 	chaosFail := fs.Float64("chaos-fail", 0, "per-read probability of an injected store panic (0 disables chaos)")
 	chaosLatency := fs.Duration("chaos-latency", 0, "injected latency on every chaos-faulted store read")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for deterministic chaos decisions")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate admin address (e.g. 127.0.0.1:6060; empty disables)")
+	accessLog := fs.String("access-log", "stderr", "structured access-log destination: stderr, off, or a file path")
+	logLevel := fs.String("log-level", "info", "minimum access-log level (debug, info, warn, error)")
+	traceCap := fs.Int("trace-cap", 4096, "max request spans retained in the in-process trace (0: unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *chaosFail < 0 || *chaosFail > 1 {
 		return fmt.Errorf("-chaos-fail %v outside [0,1]", *chaosFail)
+	}
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		return err
 	}
 
 	cfg := serve.DefaultConfig()
@@ -51,6 +61,27 @@ func cmdServe(args []string) error {
 	cfg.MaxInFlight = *maxInflight
 	cfg.RequestTimeout = *timeout
 	cfg.DrainTimeout = *drain
+
+	// One telemetry run for the process: request spans (capped so the
+	// trace cannot grow without bound), serve metrics, and — via the
+	// shared registry — the /metrics exposition in both formats.
+	run := obs.NewRun()
+	run.Trace().SetLimit(*traceCap)
+	cfg.Obs = run
+
+	switch *accessLog {
+	case "off", "":
+		// no access log
+	case "stderr":
+		cfg.AccessLog = logx.New(os.Stderr, logx.WithLevel(level))
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open access log: %w", err)
+		}
+		defer f.Close()
+		cfg.AccessLog = logx.New(f, logx.WithLevel(level))
+	}
 
 	var st *store.Store
 	if *snapPath != "" {
@@ -85,7 +116,20 @@ func cmdServe(args []string) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	srv := serve.New(st, obs.NewRegistry(), cfg)
+	srv := serve.New(st, run.Registry(), cfg)
+
+	// Opt-in profiling: pprof lives on its own admin listener, never the
+	// query port.
+	if *pprofAddr != "" {
+		admin := &http.Server{Addr: *pprofAddr, Handler: serve.AdminHandler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			fmt.Fprintf(os.Stderr, "pprof admin mux on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := admin.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "pprof admin mux: %v\n", err)
+			}
+		}()
+		defer admin.Close()
+	}
 
 	// SIGHUP = operator asked for a zero-downtime snapshot reload.
 	hup := make(chan os.Signal, 1)
@@ -102,7 +146,7 @@ func cmdServe(args []string) error {
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "listening on %s (GET /healthz, /readyz, /metrics, /v1/entity/{id}, /v1/triples/{entity}/{attr}, /v1/query; POST /v1/admin/reload; SIGHUP reloads)\n", cfg.Addr)
+	fmt.Fprintf(os.Stderr, "listening on %s (GET /healthz, /readyz, /metrics [?format=prom], /v1/entity/{id}, /v1/triples/{entity}/{attr}, /v1/query; POST /v1/admin/reload; SIGHUP reloads)\n", cfg.Addr)
 	if err := srv.ListenAndServe(ctx); err != nil {
 		return err
 	}

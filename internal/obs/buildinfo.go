@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo reports the binary's identity for the akb_build_info metric
+// and /healthz: the main module version and the VCS revision (truncated
+// to 12 hex chars), both read from the build info baked into the binary
+// by the Go toolchain. Either falls back to "unknown" when the binary
+// was built without that information (go test binaries, non-VCS builds).
+func BuildInfo() (version, commit string) {
+	version, commit = "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return
+	}
+	if v := bi.Main.Version; v != "" {
+		version = v
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			commit = s.Value
+			if len(commit) > 12 {
+				commit = commit[:12]
+			}
+		}
+	}
+	return
+}
+
+// GoVersion returns the running toolchain's version string, a third
+// label on akb_build_info so scrapes record what compiled the binary.
+func GoVersion() string { return runtime.Version() }

@@ -1,0 +1,208 @@
+// Package logx is the serving path's structured logger: leveled JSON
+// lines with deterministic key order, an injectable clock and writer,
+// and bound fields for per-component context. One log call emits exactly
+// one newline-terminated JSON object:
+//
+//	{"ts":"2026-08-08T12:00:00Z","level":"info","msg":"request","id":"ab12","status":200}
+//
+// Keys appear in emission order — ts, level, msg, then bound fields,
+// then the call's own pairs — not sorted, so a human tailing the log and
+// a parser ingesting it see the same stable shape. With a fixed clock
+// the output is byte-reproducible, which is how the access-log tests pin
+// whole lines.
+//
+// Like the rest of internal/obs, every method is safe on a nil *Logger:
+// a disabled access log is a nil pointer, not a branch at every call
+// site. The package imports only the standard library.
+package logx
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int8(l))
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error",
+// case-insensitive) to its Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return Debug, nil
+	case "info":
+		return Info, nil
+	case "warn", "warning":
+		return Warn, nil
+	case "error":
+		return Error, nil
+	}
+	return Info, fmt.Errorf("logx: unknown level %q", s)
+}
+
+// Logger emits leveled JSON lines. Create with New; derive scoped
+// loggers with With. All methods are safe for concurrent use (one
+// mutex serialises writes across a logger and everything derived from
+// it) and no-ops on a nil receiver.
+type Logger struct {
+	mu    *sync.Mutex
+	w     io.Writer
+	min   Level
+	clock func() time.Time
+	base  []field
+}
+
+type field struct {
+	key string
+	val any
+}
+
+// Option configures a Logger at construction.
+type Option func(*Logger)
+
+// WithLevel drops log calls below min.
+func WithLevel(min Level) Option { return func(l *Logger) { l.min = min } }
+
+// WithClock substitutes the timestamp source; tests inject a fixed
+// clock for byte-stable lines.
+func WithClock(clock func() time.Time) Option {
+	return func(l *Logger) {
+		if clock != nil {
+			l.clock = clock
+		}
+	}
+}
+
+// New builds a logger writing to w at Info level by default.
+func New(w io.Writer, opts ...Option) *Logger {
+	l := &Logger{mu: &sync.Mutex{}, w: w, min: Info, clock: time.Now}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
+}
+
+// With returns a derived logger whose lines always carry the given
+// key/value pairs (after ts/level/msg, before per-call pairs). The
+// derived logger shares the parent's writer, level and mutex.
+func (l *Logger) With(keyvals ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	d := &Logger{mu: l.mu, w: l.w, min: l.min, clock: l.clock}
+	d.base = append(append([]field{}, l.base...), pairFields(keyvals)...)
+	return d
+}
+
+// Debugf-style helpers are deliberately absent: one message string plus
+// key/value pairs keeps lines parseable.
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, keyvals ...any) { l.log(Debug, msg, keyvals) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, keyvals ...any) { l.log(Info, msg, keyvals) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, keyvals ...any) { l.log(Warn, msg, keyvals) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, keyvals ...any) { l.log(Error, msg, keyvals) }
+
+func (l *Logger) log(lvl Level, msg string, keyvals []any) {
+	if l == nil || lvl < l.min || l.w == nil {
+		return
+	}
+	var b []byte
+	b = append(b, `{"ts":`...)
+	b = appendJSONString(b, l.clock().UTC().Format(time.RFC3339Nano))
+	b = append(b, `,"level":`...)
+	b = appendJSONString(b, lvl.String())
+	b = append(b, `,"msg":`...)
+	b = appendJSONString(b, msg)
+	for _, f := range l.base {
+		b = appendField(b, f)
+	}
+	for _, f := range pairFields(keyvals) {
+		b = appendField(b, f)
+	}
+	b = append(b, '}', '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Write(b)
+}
+
+// pairFields folds a variadic key/value list into fields: keys are
+// stringified, a trailing key without a value gets "(MISSING)".
+func pairFields(keyvals []any) []field {
+	out := make([]field, 0, (len(keyvals)+1)/2)
+	for i := 0; i < len(keyvals); i += 2 {
+		key, ok := keyvals[i].(string)
+		if !ok {
+			key = fmt.Sprint(keyvals[i])
+		}
+		var val any = "(MISSING)"
+		if i+1 < len(keyvals) {
+			val = keyvals[i+1]
+		}
+		out = append(out, field{key, val})
+	}
+	return out
+}
+
+func appendField(b []byte, f field) []byte {
+	b = append(b, ',')
+	b = appendJSONString(b, f.key)
+	b = append(b, ':')
+	return appendJSONValue(b, f.val)
+}
+
+// appendJSONValue marshals one field value. Errors and Stringers become
+// their message text; anything json.Marshal rejects falls back to its
+// fmt representation, so a log call can never fail.
+func appendJSONValue(b []byte, v any) []byte {
+	switch t := v.(type) {
+	case error:
+		return appendJSONString(b, t.Error())
+	case time.Duration:
+		return appendJSONString(b, t.String())
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return appendJSONString(b, fmt.Sprint(v))
+	}
+	return append(b, raw...)
+}
+
+func appendJSONString(b []byte, s string) []byte {
+	raw, err := json.Marshal(s)
+	if err != nil { // unreachable: a string always marshals
+		return append(b, `""`...)
+	}
+	return append(b, raw...)
+}

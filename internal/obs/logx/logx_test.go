@@ -1,0 +1,138 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a deterministic, advancing clock (locked, since the
+// logger may read it from many goroutines).
+func fixedClock() func() time.Time {
+	var mu sync.Mutex
+	t := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(time.Second)
+		return t
+	}
+}
+
+func TestLineFormatDeterministic(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, WithClock(fixedClock()))
+	log.Info("request", "id", "ab12", "status", 200, "dur", 1500*time.Microsecond)
+	want := `{"ts":"2026-08-08T12:00:01Z","level":"info","msg":"request","id":"ab12","status":200,"dur":"1.5ms"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("line =\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestEveryLineIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, WithClock(fixedClock()), WithLevel(Debug))
+	log.Debug("debugging", "deep", map[string]int{"a": 1})
+	log.Info("quotes", "k", `va"l\ue`+"\n")
+	log.Warn("odd pair", "lonely")
+	log.Error("failed", "err", errors.New("boom"), 42, "non-string key")
+	log.Info("unmarshalable", "ch", make(chan int))
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Errorf("line %q is not valid JSON: %v", line, err)
+			continue
+		}
+		for _, k := range []string{"ts", "level", "msg"} {
+			if _, ok := m[k]; !ok {
+				t.Errorf("line %q missing %q", line, k)
+			}
+		}
+	}
+	var odd map[string]any
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	json.Unmarshal([]byte(lines[2]), &odd)
+	if odd["lonely"] != "(MISSING)" {
+		t.Errorf("odd trailing key = %v", odd["lonely"])
+	}
+	var withErr map[string]any
+	json.Unmarshal([]byte(lines[3]), &withErr)
+	if withErr["err"] != "boom" {
+		t.Errorf("error field = %v", withErr["err"])
+	}
+	if withErr["42"] != "non-string key" {
+		t.Errorf("non-string key handling = %v", withErr)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, WithClock(fixedClock()), WithLevel(Warn))
+	log.Debug("nope")
+	log.Info("nope")
+	log.Warn("yes")
+	log.Error("yes")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("emitted %d lines, want 2:\n%s", got, buf.String())
+	}
+}
+
+func TestWithBindsFields(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, WithClock(fixedClock())).With("component", "serve")
+	log.Info("reload", "generation", 3)
+	want := `{"ts":"2026-08-08T12:00:01Z","level":"info","msg":"reload","component":"serve","generation":3}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("line =\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestNilLoggerNoOps(t *testing.T) {
+	var log *Logger
+	log.Info("into the void", "k", "v")
+	log.With("a", "b").Error("still nothing")
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": Debug, "INFO": Info, "Warn": Warn, "warning": Warn, "error": Error,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	var buf bytes.Buffer
+	log := New(&buf, WithClock(fixedClock()))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				log.Info("tick", "worker", i, "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved write produced bad JSON: %q", line)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the exposition WritePrometheus
+// emits: the classic Prometheus text format, which every Prometheus
+// server and the OpenMetrics-era scrapers both accept.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format (version 0.0.4):
+//
+//   - one `# TYPE` line per metric family, families sorted by name,
+//     series within a family sorted by label set;
+//   - counters and gauges as single samples, with their label sets
+//     rendered and escaped;
+//   - histograms as cumulative `_bucket{le="..."}` samples over every
+//     configured bound plus the `+Inf` bucket, then `_sum` and `_count`;
+//   - a trailing `# EOF` marker so strict OpenMetrics parsers see a
+//     complete exposition.
+//
+// Output is deterministic for a fixed metric state, which is what lets a
+// golden test pin the whole format. A nil registry writes only the EOF
+// marker. Metric and label names are sanitised to the Prometheus
+// grammar; label values are escaped per the exposition spec.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, fam := range r.promFamilies() {
+		b.WriteString("# TYPE ")
+		b.WriteString(fam.name)
+		b.WriteByte(' ')
+		b.WriteString(fam.kind)
+		b.WriteByte('\n')
+		for _, s := range fam.series {
+			if fam.kind == "histogram" {
+				writePromHistogram(&b, fam.name, s)
+				continue
+			}
+			b.WriteString(fam.name)
+			b.WriteString(s.labels)
+			b.WriteByte(' ')
+			b.WriteString(formatPromValue(s.value))
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promSeries is one sample (or, for histograms, one series) ready to
+// render: labels are already sorted, escaped and wrapped in braces.
+type promSeries struct {
+	key    string // registry series key, the within-family sort key
+	labels string // rendered label set, "" when unlabeled
+	value  float64
+
+	// histogram-only fields
+	bounds []float64
+	cum    []int64 // cumulative count at each bound
+	count  int64
+	sum    float64
+}
+
+// promFamily groups every series sharing a (sanitised) name and kind.
+type promFamily struct {
+	name   string
+	kind   string
+	series []promSeries
+}
+
+// promFamilies snapshots the registry into render-ready families. Unlike
+// Snapshot it keeps zero-count histogram buckets: the exposition format
+// wants every bound present so cumulative counts parse unambiguously.
+func (r *Registry) promFamilies() []promFamily {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make(map[string]*promFamily)
+	add := func(name, kind string, s promSeries) {
+		name = sanitizeMetricName(name)
+		fkey := name + " " + kind
+		fam, ok := fams[fkey]
+		if !ok {
+			fam = &promFamily{name: name, kind: kind}
+			fams[fkey] = fam
+		}
+		fam.series = append(fam.series, s)
+	}
+	for key, s := range r.counters {
+		add(s.name, "counter", promSeries{key: key, labels: renderLabels(s.labels), value: float64(s.c.Value())})
+	}
+	for key, s := range r.gauges {
+		add(s.name, "gauge", promSeries{key: key, labels: renderLabels(s.labels), value: s.g.Value()})
+	}
+	for key, s := range r.hists {
+		h := s.h
+		h.mu.Lock()
+		ps := promSeries{key: key, count: h.count, sum: h.sum}
+		ps.bounds = append(ps.bounds, h.bounds...)
+		var cum int64
+		for i := range h.bounds {
+			cum += h.counts[i]
+			ps.cum = append(ps.cum, cum)
+		}
+		h.mu.Unlock()
+		add(s.name, "histogram", ps)
+	}
+	out := make([]promFamily, 0, len(fams))
+	for _, fam := range fams {
+		sort.Slice(fam.series, func(i, j int) bool { return fam.series[i].key < fam.series[j].key })
+		out = append(out, *fam)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].kind < out[j].kind
+	})
+	return out
+}
+
+// writePromHistogram renders one histogram series: cumulative buckets
+// over every bound, the +Inf bucket (== _count), then _sum and _count.
+func writePromHistogram(b *strings.Builder, name string, s promSeries) {
+	for i, bound := range s.bounds {
+		b.WriteString(name)
+		b.WriteString(`_bucket{le="`)
+		b.WriteString(formatPromValue(bound))
+		b.WriteString(`"} `)
+		b.WriteString(strconv.FormatInt(s.cum[i], 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString(`_bucket{le="+Inf"} `)
+	b.WriteString(strconv.FormatInt(s.count, 10))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_sum ")
+	b.WriteString(formatPromValue(s.sum))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count ")
+	b.WriteString(strconv.FormatInt(s.count, 10))
+	b.WriteByte('\n')
+}
+
+// renderLabels renders a label set as {k="v",...} with keys sorted,
+// names sanitised and values escaped; "" for an empty set.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(k))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelValueEscaper implements the exposition format's label-value
+// escaping: backslash, double quote and line feed.
+var labelValueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(v string) string { return labelValueEscaper.Replace(v) }
+
+// sanitizeMetricName maps a name onto the metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*, replacing invalid runes with '_'.
+func sanitizeMetricName(name string) string {
+	return sanitizeName(name, true)
+}
+
+// sanitizeLabelName maps a name onto the label-name grammar
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func sanitizeLabelName(name string) string {
+	return sanitizeName(name, false)
+}
+
+func sanitizeName(name string, allowColon bool) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0) || (allowColon && c == ':')
+		if ok {
+			b = append(b, c)
+		} else {
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// formatPromValue renders a float the way Prometheus expositions
+// conventionally do: shortest round-trip representation.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

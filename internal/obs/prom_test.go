@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promTestRegistry builds the fixture behind the golden exposition: one
+// plain counter, a labeled counter family with two series, a labeled
+// gauge (the build_info shape), a plain gauge, and a histogram whose
+// observations are exact binary fractions so the golden file is stable
+// across platforms.
+func promTestRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("akb_serve_requests_total").Add(42)
+	reg.CounterWith("akb_reqs_by_route", map[string]string{"route": "/v1/query"}).Add(7)
+	reg.CounterWith("akb_reqs_by_route", map[string]string{"route": "/healthz"}).Add(3)
+	reg.GaugeWith("akb_build_info", map[string]string{"version": "v1.2.3", "commit": "abc123"}).Set(1)
+	reg.Gauge("akb_serve_inflight").Set(2)
+	h := reg.Histogram("akb_latency_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.0078125, 0.0625, 0.5, 8} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := promTestRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "metrics.prom.golden")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != string(want) {
+		t.Errorf("exposition differs from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	reg := promTestRegistry()
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two expositions of the same state differ")
+	}
+}
+
+func TestNilRegistryPrometheus(t *testing.T) {
+	var b strings.Builder
+	var reg *Registry
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "# EOF\n" {
+		t.Errorf("nil registry exposition = %q", b.String())
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeWith("akb_esc", map[string]string{
+		"path":      `C:\temp\"quoted"`,
+		"multiline": "line1\nline2",
+		"weird-key": "v",
+	}).Set(1)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		`path="C:\\temp\\\"quoted\""`,
+		`multiline="line1\nline2"`,
+		`weird_key="v"`, // invalid label-name rune sanitised
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %s:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "\nline2") {
+		t.Errorf("raw newline leaked into a label value:\n%s", got)
+	}
+}
+
+func TestPromNameSanitisation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("bad name.total").Inc()
+	reg.Counter("7leading").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{"bad_name_total 1", "_leading 1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestPromHistogramCumulativity is the property test: for a pile of
+// deterministic pseudo-random observations, the exposed buckets must be
+// cumulative and monotonically non-decreasing, +Inf must equal _count,
+// and _sum/_count must round-trip the histogram's own accounting.
+func TestPromHistogramCumulativity(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("akb_serve_latency_seconds", ServeLatencyBuckets())
+	n := 0
+	for i := 0; i < 500; i++ {
+		// Spread across and beyond the bucket range, deterministically.
+		v := float64(i*i%997) / 997 * 0.01
+		if i%97 == 0 {
+			v = 7 // past the last bound: overflow-bucket territory
+		}
+		h.Observe(v)
+		n++
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		cum      []int64
+		infCount = int64(-1)
+		sum      = -1.0
+		count    = int64(-1)
+	)
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, `akb_serve_latency_seconds_bucket{le="+Inf"} `):
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad +Inf line %q: %v", line, err)
+			}
+			infCount = v
+		case strings.HasPrefix(line, `akb_serve_latency_seconds_bucket{le="`):
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			cum = append(cum, v)
+		case strings.HasPrefix(line, "akb_serve_latency_seconds_sum "):
+			v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if err != nil {
+				t.Fatalf("bad sum line %q: %v", line, err)
+			}
+			sum = v
+		case strings.HasPrefix(line, "akb_serve_latency_seconds_count "):
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count line %q: %v", line, err)
+			}
+			count = v
+		}
+	}
+	if len(cum) != len(ServeLatencyBuckets()) {
+		t.Fatalf("exposed %d bucket lines, want %d (every bound, including empty buckets)",
+			len(cum), len(ServeLatencyBuckets()))
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Errorf("bucket counts not cumulative at %d: %v", i, cum)
+		}
+	}
+	if cum[len(cum)-1] > infCount {
+		t.Errorf("last finite bucket %d exceeds +Inf %d", cum[len(cum)-1], infCount)
+	}
+	if infCount != int64(n) || count != int64(n) {
+		t.Errorf("+Inf = %d, _count = %d, want both %d", infCount, count, n)
+	}
+	if want := h.Sum(); sum != want {
+		t.Errorf("_sum = %v, want %v", sum, want)
+	}
+}
+
+func TestLabeledSeriesIdentity(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.CounterWith("akb_x", map[string]string{"k": "a"})
+	b := reg.CounterWith("akb_x", map[string]string{"k": "b"})
+	a2 := reg.CounterWith("akb_x", map[string]string{"k": "a"})
+	if a == b {
+		t.Error("distinct label sets share a counter")
+	}
+	if a != a2 {
+		t.Error("same label set yields a different counter")
+	}
+	a.Add(5)
+	b.Add(1)
+
+	// Mutating the caller's map after registration must not change the
+	// series identity.
+	labels := map[string]string{"k": "c"}
+	g := reg.GaugeWith("akb_y", labels)
+	g.Set(3)
+	labels["k"] = "mutated"
+	snap := reg.Snapshot()
+	var names []string
+	for _, m := range snap {
+		names = append(names, seriesKey(m.Name, m.Labels))
+	}
+	want := []string{
+		seriesKey("akb_x", map[string]string{"k": "a"}),
+		seriesKey("akb_x", map[string]string{"k": "b"}),
+		seriesKey("akb_y", map[string]string{"k": "c"}),
+	}
+	if len(names) != len(want) {
+		t.Fatalf("snapshot series = %q", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("snapshot[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+
+	// Nil registry: labeled accessors stay no-ops.
+	var nilReg *Registry
+	nilReg.CounterWith("x", map[string]string{"a": "b"}).Inc()
+	nilReg.GaugeWith("x", map[string]string{"a": "b"}).Set(1)
+}

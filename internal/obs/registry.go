@@ -125,55 +125,139 @@ func FanoutBuckets() []float64 {
 	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 }
 
+// ServeLatencyBuckets returns the HTTP route latency bounds in seconds.
+// The indexed store answers most routes in tens of microseconds
+// (BENCH_serve.json), so the default LatencyBuckets — which start at
+// 100µs — collapsed nearly every observation into the first bucket.
+// These bounds start at 10µs and stay log-spaced up to 5s so both the
+// fast path and timeout-bound stragglers resolve.
+func ServeLatencyBuckets() []float64 {
+	return []float64{
+		0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+		0.001, 0.0025, 0.01, 0.05, 0.25, 1, 5,
+	}
+}
+
 // Registry is a concurrency-safe, name-keyed metric store. Metrics are
-// created on first use; repeated lookups return the same instance. All
+// created on first use; repeated lookups return the same instance. A
+// metric series is identified by its name plus an optional label set
+// (CounterWith/GaugeWith), mirroring the Prometheus data model. All
 // methods are nil-safe: a nil *Registry hands out nil metrics whose
 // methods no-op, so instrumented code never branches on telemetry being
 // enabled.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*counterSeries
+	gauges   map[string]*gaugeSeries
+	hists    map[string]*histSeries
+}
+
+// counterSeries, gaugeSeries and histSeries bind one metric instance to
+// its identity (name + immutable label set). The registry map key is
+// seriesKey(name, labels), so every distinct label combination is its
+// own series.
+type counterSeries struct {
+	name   string
+	labels map[string]string
+	c      *Counter
+}
+
+type gaugeSeries struct {
+	name   string
+	labels map[string]string
+	g      *Gauge
+}
+
+type histSeries struct {
+	name string
+	h    *Histogram
+}
+
+// seriesKey builds the registry map key for a labeled series: the name,
+// then label pairs sorted by key, joined with separators that cannot
+// appear in metric names. Keys therefore sort by name first, then by
+// label set, which is the export order.
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	b = append(b, name...)
+	for _, k := range keys {
+		b = append(b, 0)
+		b = append(b, k...)
+		b = append(b, 1)
+		b = append(b, labels[k]...)
+	}
+	return string(b)
+}
+
+// copyLabels snapshots a caller-supplied label map so later mutation by
+// the caller cannot change a registered series' identity.
+func copyLabels(labels map[string]string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters: make(map[string]*counterSeries),
+		gauges:   make(map[string]*gaugeSeries),
+		hists:    make(map[string]*histSeries),
 	}
 }
 
-// Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
+// Counter returns the named (unlabeled) counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter { return r.CounterWith(name, nil) }
+
+// CounterWith returns the counter series for name plus the given label
+// set, creating it on first use. The labels are copied; each distinct
+// label combination is an independent series.
+func (r *Registry) CounterWith(name string, labels map[string]string) *Counter {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counters[name]
+	key := seriesKey(name, labels)
+	s, ok := r.counters[key]
 	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+		s = &counterSeries{name: name, labels: copyLabels(labels), c: &Counter{}}
+		r.counters[key] = s
 	}
-	return c
+	return s.c
 }
 
-// Gauge returns the named gauge, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
+// Gauge returns the named (unlabeled) gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge { return r.GaugeWith(name, nil) }
+
+// GaugeWith returns the gauge series for name plus the given label set,
+// creating it on first use; see CounterWith.
+func (r *Registry) GaugeWith(name string, labels map[string]string) *Gauge {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[name]
+	key := seriesKey(name, labels)
+	s, ok := r.gauges[key]
 	if !ok {
-		g = &Gauge{}
-		r.gauges[name] = g
+		s = &gaugeSeries{name: name, labels: copyLabels(labels), g: &Gauge{}}
+		r.gauges[key] = s
 	}
-	return g
+	return s.g
 }
 
 // Histogram returns the named histogram, creating it with the given
@@ -185,7 +269,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.hists[name]
+	s, ok := r.hists[name]
 	if !ok {
 		if bounds == nil {
 			bounds = LatencyBuckets()
@@ -193,10 +277,10 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		bs := make([]float64, len(bounds))
 		copy(bs, bounds)
 		sort.Float64s(bs)
-		h = &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
-		r.hists[name] = h
+		s = &histSeries{name: name, h: &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}}
+		r.hists[name] = s
 	}
-	return h
+	return s.h
 }
 
 // Bucket is one exported histogram bucket: the inclusive upper bound and
@@ -211,6 +295,9 @@ type Metric struct {
 	Name string `json:"name"`
 	// Kind is "counter", "gauge" or "histogram".
 	Kind string `json:"kind"`
+	// Labels identify a labeled series (CounterWith/GaugeWith); empty for
+	// plain metrics, so pre-label JSON output is unchanged.
+	Labels map[string]string `json:"labels,omitempty"`
 	// Value holds counter and gauge values.
 	Value float64 `json:"value,omitempty"`
 	// Count, Sum, Buckets and Overflow describe histograms; Overflow
@@ -221,25 +308,30 @@ type Metric struct {
 	Overflow int64    `json:"overflow,omitempty"`
 }
 
-// Snapshot exports every metric, sorted by name for stable output. It is
-// safe to call concurrently with metric updates and returns an empty slice
-// on a nil registry.
+// Snapshot exports every metric, sorted by name (then label set) for
+// stable output. It is safe to call concurrently with metric updates and
+// returns an empty slice on a nil registry.
 func (r *Registry) Snapshot() []Metric {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
-	for name, c := range r.counters {
-		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
+	type keyed struct {
+		key string
+		m   Metric
 	}
-	for name, g := range r.gauges {
-		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	out := make([]keyed, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for key, s := range r.counters {
+		out = append(out, keyed{key, Metric{Name: s.name, Kind: "counter", Labels: copyLabels(s.labels), Value: float64(s.c.Value())}})
 	}
-	for name, h := range r.hists {
+	for key, s := range r.gauges {
+		out = append(out, keyed{key, Metric{Name: s.name, Kind: "gauge", Labels: copyLabels(s.labels), Value: s.g.Value()}})
+	}
+	for key, s := range r.hists {
+		h := s.h
 		h.mu.Lock()
-		m := Metric{Name: name, Kind: "histogram", Count: h.count, Sum: h.sum}
+		m := Metric{Name: s.name, Kind: "histogram", Count: h.count, Sum: h.sum}
 		for i, b := range h.bounds {
 			if h.counts[i] > 0 {
 				m.Buckets = append(m.Buckets, Bucket{LE: b, Count: h.counts[i]})
@@ -247,8 +339,14 @@ func (r *Registry) Snapshot() []Metric {
 		}
 		m.Overflow = h.counts[len(h.bounds)]
 		h.mu.Unlock()
-		out = append(out, m)
+		out = append(out, keyed{key, m})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	// The series key leads with the name, so sorting by it orders by name
+	// first and label set second.
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	ms := make([]Metric, len(out))
+	for i, k := range out {
+		ms[i] = k.m
+	}
+	return ms
 }

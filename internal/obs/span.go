@@ -11,9 +11,35 @@ import (
 // identified by 1-based ids; parent id 0 marks a root span. All methods
 // are safe for concurrent use and nil-safe.
 type Trace struct {
-	mu    sync.Mutex
-	clock func() time.Time
-	spans []*Span
+	mu      sync.Mutex
+	clock   func() time.Time
+	spans   []*Span
+	limit   int   // max retained spans; 0 means unlimited
+	dropped int64 // spans discarded because the limit was reached
+}
+
+// SetLimit caps how many spans the trace retains; 0 restores unlimited
+// retention. A long-running server that opens a span per request would
+// otherwise grow its trace without bound, so the serve layer sets a cap:
+// spans started past it still work (Annotate/End are safe no-ops onto a
+// detached span) but are not retained or exported.
+func (t *Trace) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.limit = n
+}
+
+// Dropped returns how many spans the retention limit discarded.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Span is one timed unit of work: a supervised stage, a single stage
@@ -35,6 +61,13 @@ type Span struct {
 func (t *Trace) start(name string, parent int) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.limit > 0 && len(t.spans) >= t.limit {
+		// Past the retention cap: hand back a detached span (id 0, never
+		// appended) so callers still get a working Span without the trace
+		// growing without bound.
+		t.dropped++
+		return &Span{tr: t, parent: parent, name: name, start: t.clock()}
+	}
 	s := &Span{tr: t, id: len(t.spans) + 1, parent: parent, name: name, start: t.clock()}
 	t.spans = append(t.spans, s)
 	return s

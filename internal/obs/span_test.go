@@ -134,3 +134,28 @@ func TestRecordError(t *testing.T) {
 		t.Fatalf("error = %q", got)
 	}
 }
+
+// TestSpanRetentionLimit caps the trace and checks spans past the cap are
+// handed out detached: usable, uncounted, not exported.
+func TestSpanRetentionLimit(t *testing.T) {
+	run := NewRunAt(newFakeClock().Now)
+	run.Trace().SetLimit(2)
+	ctx := Into(context.Background(), run)
+	for i := 0; i < 5; i++ {
+		_, span := StartSpan(ctx, "req")
+		span.Annotate("k", "v") // must not panic on a detached span
+		span.End()
+	}
+	if got := len(run.Trace().Snapshot()); got != 2 {
+		t.Fatalf("retained %d spans, want 2", got)
+	}
+	if got := run.Trace().Dropped(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+	run.Trace().SetLimit(0)
+	_, span := StartSpan(ctx, "more")
+	span.End()
+	if got := len(run.Trace().Snapshot()); got != 3 {
+		t.Fatalf("after lifting the limit retained %d spans, want 3", got)
+	}
+}

@@ -1,0 +1,23 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminHandler returns the opt-in admin mux: the net/http/pprof
+// endpoints under /debug/pprof/. It is deliberately a separate handler
+// from the query API — `akb serve -pprof` binds it to its own
+// (typically loopback) listener so profiling and goroutine dumps are
+// never reachable on the public port, and none of the query-path
+// middleware (shedding, timeouts, caching) interferes with long-running
+// profile captures.
+func AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"time"
+
+	"akb/internal/obs"
+)
+
+// RequestIDHeader is the header a request's identity travels in. An
+// incoming value (a gateway's or client's ID) is adopted; otherwise the
+// server generates one. Every response — 2xx, the 4xx/5xx envelopes,
+// shed 429s, timeouts and recovered panics — echoes it, so one ID
+// follows a request through access logs, traces and the client's own
+// records.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds adopted inbound IDs; anything longer (or empty)
+// is replaced with a generated one, so a hostile client cannot stuff
+// megabytes into every log line.
+const maxRequestIDLen = 128
+
+// requestIDKey carries the request ID in the context.
+type requestIDKey struct{}
+
+// RequestID returns the request's ID, installed by the observe
+// middleware ("" outside a request).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID generates a 16-hex-char random ID, or defers to the
+// configured generator (tests inject a deterministic one).
+func (s *Server) newRequestID() string {
+	if s.cfg.NewRequestID != nil {
+		return s.cfg.NewRequestID()
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// counter so requests still get distinct IDs.
+		return "fallback-" + time.Now().Format("150405.000000000")
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusRecorder captures the status code and body bytes a handler
+// writes, for the access log and the request span. The first
+// WriteHeader wins, mirroring net/http semantics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += n
+	return n, err
+}
+
+// observe is the outermost middleware: request identity, tracing and the
+// access log. It runs outside panic recovery so even a recovered panic's
+// 500 carries the request ID (the header is set before anything below
+// can write), and it sees the final status of every outcome — shed 429s,
+// timeout 503s, envelope errors, panics.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" || len(id) > maxRequestIDLen {
+			id = s.newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+
+		// One span per request when the server carries a telemetry run, so
+		// slow requests line up against reload/chaos events in the same
+		// trace. The run's span cap (set by the caller) bounds retention.
+		var span *obs.Span
+		if s.cfg.Obs != nil {
+			ctx = obs.Into(ctx, s.cfg.Obs)
+			ctx, span = obs.StartSpan(ctx, "http "+r.Method+" "+r.URL.Path)
+			span.Annotate("request_id", id)
+		}
+
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		dur := time.Since(start)
+
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http defaults the status
+		}
+		if span != nil {
+			span.AnnotateInt("status", int64(status))
+			span.AnnotateInt("bytes", int64(rec.bytes))
+			span.End()
+		}
+		log := s.cfg.AccessLog
+		if status >= http.StatusInternalServerError {
+			log.Error("request",
+				"id", id, "method", r.Method, "path", r.URL.RequestURI(),
+				"status", status, "bytes", rec.bytes, "dur_us", dur.Microseconds(),
+				"gen", s.Generation())
+			return
+		}
+		log.Info("request",
+			"id", id, "method", r.Method, "path", r.URL.RequestURI(),
+			"status", status, "bytes", rec.bytes, "dur_us", dur.Microseconds(),
+			"gen", s.Generation())
+	})
+}

@@ -10,9 +10,11 @@
 //	GET  /v1/triples/{entity}/{attr}  accepted values for one attribute
 //	GET  /v1/query?class=&attr=&value=[&entity=&limit=]  filtered fact search
 //	POST /v1/admin/reload             hot-swap to a freshly loaded snapshot
-//	GET  /healthz                     liveness + health state machine
+//	GET  /healthz                     liveness + health state machine + version
 //	GET  /readyz                      readiness (503 while starting/draining)
-//	GET  /metrics                     JSON dump of the obs metric registry
+//	GET  /metrics                     metric registry: JSON by default, Prometheus
+//	                                  text exposition via ?format=prom or an
+//	                                  Accept header naming openmetrics/text-plain
 //
 // Production hygiene: per-request timeouts, a bounded in-flight request
 // count with 429 load shedding above it, a generation-keyed response
@@ -22,6 +24,13 @@
 // the old one if the new snapshot is bad), graceful shutdown draining
 // in-flight requests, and akb_serve_* counters/histograms in the shared
 // obs registry.
+//
+// Observability: every response carries an X-Request-ID (adopted from
+// the client or generated), the optional Config.AccessLog emits one
+// structured JSON line per request, and Config.Obs opens a span per
+// request so traces, logs and metrics correlate on the request ID.
+// AdminHandler exposes net/http/pprof for a separate, opt-in admin
+// listener (`akb serve -pprof`).
 //
 // The server does not serve one store; it serves a *generation*: an
 // atomically swappable handle bundling the store, the querier the
@@ -51,6 +60,7 @@ import (
 	"time"
 
 	"akb/internal/obs"
+	"akb/internal/obs/logx"
 	"akb/internal/store"
 )
 
@@ -83,6 +93,19 @@ type Config struct {
 	// harness injects faults here; it is also the seam for future
 	// sharded or remote queriers.
 	WrapQuerier func(store.Querier) store.Querier
+	// AccessLog, when set, receives one structured line per request
+	// (request ID, method, path, status, bytes, duration, generation).
+	// Nil disables access logging with zero per-request cost.
+	AccessLog *logx.Logger
+	// Obs, when set, is the telemetry run the server traces requests
+	// into: one span per request, correlated by request ID with reload
+	// and chaos events in the same trace. Callers should cap the run's
+	// trace (Trace().SetLimit) — a production server otherwise retains a
+	// span per request forever.
+	Obs *obs.Run
+	// NewRequestID overrides request-ID generation (nil: 16 hex chars
+	// from crypto/rand). Tests inject deterministic IDs.
+	NewRequestID func() string
 }
 
 // DefaultConfig returns production-leaning defaults.
@@ -156,6 +179,7 @@ type Server struct {
 	reg     *obs.Registry
 	cfg     Config
 	started time.Time
+	version string
 
 	cur    atomic.Pointer[generation]
 	genSeq atomic.Uint64
@@ -189,12 +213,22 @@ func New(st *store.Store, reg *obs.Registry, cfg Config) *Server {
 	if cfg.MaxResults <= 0 {
 		cfg.MaxResults = DefaultConfig().MaxResults
 	}
+	if reg == nil && cfg.Obs != nil {
+		reg = cfg.Obs.Registry()
+	}
+	version, commit := obs.BuildInfo()
 	s := &Server{
 		reg:      reg,
 		cfg:      cfg,
 		started:  time.Now(),
+		version:  version,
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 	}
+	// akb_build_info is the Prometheus idiom for exposing identity:
+	// constant 1, the facts ride in the labels.
+	reg.GaugeWith("akb_build_info", map[string]string{
+		"version": version, "commit": commit, "goversion": obs.GoVersion(),
+	}).Set(1)
 	s.setHealth(HealthStarting)
 	if st != nil {
 		s.install(st)
@@ -250,7 +284,16 @@ type ReloadInfo struct {
 func (s *Server) Reload() (ReloadInfo, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
+	// A reload is a trace-worthy event: when the server carries a
+	// telemetry run, the swap appears as a span alongside the request
+	// spans it raced with.
+	var span *obs.Span
+	if s.cfg.Obs != nil {
+		_, span = obs.StartSpan(obs.Into(context.Background(), s.cfg.Obs), "reload")
+		defer span.End()
+	}
 	fail := func(err error) (ReloadInfo, error) {
+		span.RecordError(err)
 		s.counter("akb_serve_reload_failures_total").Inc()
 		msg := err.Error()
 		s.lastReloadErr.Store(&msg)
@@ -272,6 +315,7 @@ func (s *Server) Reload() (ReloadInfo, error) {
 		return fail(errors.New("serve: reload: refusing to swap in an empty store"))
 	}
 	g := s.install(st)
+	span.AnnotateInt("generation", int64(g.num))
 	s.lastReloadErr.Store(nil)
 	if h := s.Health(); h == HealthStarting || h == HealthDegraded {
 		s.setHealth(HealthServing)
@@ -321,16 +365,17 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	}
 }
 
-// buildHandler assembles the middleware chain, outermost first: panic
-// recovery, metrics + load shedding, the request timeout, then cache +
-// routes (each route handler carries its own recovery too, so a panic
-// inside a handler yields a JSON 500 instead of bubbling into the
-// timeout wrapper's plainer one).
+// buildHandler assembles the middleware chain, outermost first: request
+// identity + access log + tracing (observe), panic recovery, metrics +
+// load shedding, the request timeout, then cache + routes (each route
+// handler carries its own recovery too, so a panic inside a handler
+// yields a JSON 500 instead of bubbling into the timeout wrapper's
+// plainer one).
 func (s *Server) buildHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.jsonRoute(s.handleHealthz, false))
 	mux.HandleFunc("GET /readyz", s.jsonRoute(s.handleReadyz, false))
-	mux.HandleFunc("GET /metrics", s.jsonRoute(s.handleMetrics, false))
+	mux.HandleFunc("GET /metrics", s.handleMetricsNegotiated(s.jsonRoute(s.handleMetrics, false)))
 	mux.HandleFunc("GET /v1/entity/{id}", s.jsonRoute(s.handleEntity, true))
 	mux.HandleFunc("GET /v1/triples/{entity}/{attr}", s.jsonRoute(s.handleTriples, true))
 	mux.HandleFunc("GET /v1/query", s.jsonRoute(s.handleQuery, true))
@@ -360,16 +405,62 @@ func (s *Server) buildHandler() http.Handler {
 		defer func() {
 			<-s.inflight
 			s.gauge("akb_serve_inflight").Add(-1)
-			s.histogram("akb_serve_latency_seconds").Observe(time.Since(start).Seconds())
+			// Route latencies are tens of microseconds off the indexed
+			// store, so the histogram uses the sub-millisecond serve bounds,
+			// not the coarser pipeline-stage defaults.
+			s.reg.Histogram("akb_serve_latency_seconds", obs.ServeLatencyBuckets()).
+				Observe(time.Since(start).Seconds())
 		}()
 		inner.ServeHTTP(w, r)
 	})
 
-	// Outermost: last-resort panic isolation. Handler panics are caught
-	// per-route inside jsonRoute (where a clean JSON 500 can still be
-	// written); this layer catches anything escaping the middleware
+	// Near-outermost: last-resort panic isolation. Handler panics are
+	// caught per-route inside jsonRoute (where a clean JSON 500 can still
+	// be written); this layer catches anything escaping the middleware
 	// itself so a panic can never kill the serving goroutine's process.
-	return s.recoverPanic(shed)
+	// observe wraps even that, so a recovered panic's 500 still carries a
+	// request ID and lands in the access log.
+	return s.observe(s.recoverPanic(shed))
+}
+
+// handleMetricsNegotiated serves /metrics in two formats: the JSON
+// registry dump (the default, byte-compatible with what `akb report`
+// and existing tooling consume) or the Prometheus text exposition when
+// the client asks for it — `?format=prom` (or `prometheus`) explicitly,
+// or an Accept header naming application/openmetrics-text or text/plain
+// (what Prometheus scrapers send). Browsers and bare curl send Accept:
+// */*, which stays JSON.
+func (s *Server) handleMetricsNegotiated(jsonHandler http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// Scrape-time gauges: computed on read, not on a ticker.
+		s.gauge("akb_serve_uptime_seconds").Set(time.Since(s.started).Seconds())
+		if !wantsProm(r) {
+			jsonHandler(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", obs.PromContentType)
+		if g := s.cur.Load(); g != nil {
+			w.Header().Set("X-Akb-Generation", strconv.FormatUint(g.num, 10))
+		}
+		if err := s.reg.WritePrometheus(w); err != nil {
+			s.counter("akb_serve_errors_total").Inc()
+		}
+	}
+}
+
+// wantsProm decides the /metrics representation; see
+// handleMetricsNegotiated. The explicit format parameter wins over the
+// Accept header.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "application/openmetrics-text") ||
+		strings.Contains(accept, "text/plain")
 }
 
 // recoverPanic converts a panic below h into a 500 (when the response
@@ -518,6 +609,7 @@ func entityID(q store.Querier, raw string) string {
 type healthzBody struct {
 	Status          string   `json:"status"`
 	Ready           bool     `json:"ready"`
+	Version         string   `json:"version"`
 	Generation      uint64   `json:"generation"`
 	Facts           int      `json:"facts"`
 	Entities        int      `json:"entities"`
@@ -531,6 +623,7 @@ func (s *Server) healthBody(g *generation) healthzBody {
 	body := healthzBody{
 		Status:   h.String(),
 		Ready:    h.ready(),
+		Version:  s.version,
 		UptimeMS: time.Since(s.started).Milliseconds(),
 	}
 	if g != nil {
@@ -675,9 +768,8 @@ func (s *Server) handleQuery(g *generation, r *http.Request) routeResult {
 	}{g.num, len(facts), total, truncated, facts}}
 }
 
-func (s *Server) counter(name string) *obs.Counter     { return s.reg.Counter(name) }
-func (s *Server) gauge(name string) *obs.Gauge         { return s.reg.Gauge(name) }
-func (s *Server) histogram(name string) *obs.Histogram { return s.reg.Histogram(name, nil) }
+func (s *Server) counter(name string) *obs.Counter { return s.reg.Counter(name) }
+func (s *Server) gauge(name string) *obs.Gauge     { return s.reg.Gauge(name) }
 
 // respCache is a bounded response cache over one immutable store
 // generation. It never evicts (the key space is finite and the
