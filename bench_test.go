@@ -349,13 +349,25 @@ func BenchmarkChaosDegradedPipeline(b *testing.B) {
 func BenchmarkParallelPipeline(b *testing.B) {
 	ctx := context.Background()
 	type key struct{ procs, par int }
-	nsPerOp := make(map[key]int64)
+	type measure struct {
+		nsPerOp     int64
+		allocsPerOp int64
+		bytesPerOp  int64
+	}
+	measures := make(map[key]measure)
 	for _, par := range []int{1, 2, 4} {
 		par := par
 		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
 			cfg := core.DefaultConfig()
 			cfg.Parallelism = par
 			b.ReportAllocs()
+			// Process-wide allocation deltas around the timed loop; the
+			// benchmark loop is the only allocator running, so the deltas
+			// are this configuration's allocs/op and bytes/op (same
+			// accounting -benchmem reports, but captured per row for the
+			// JSON trajectory).
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
 				res, err := core.RunContext(ctx, cfg)
@@ -363,20 +375,28 @@ func BenchmarkParallelPipeline(b *testing.B) {
 					b.Fatalf("pipeline failed: %v", err)
 				}
 			}
-			nsPerOp[key{runtime.GOMAXPROCS(0), par}] = time.Since(start).Nanoseconds() / int64(b.N)
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			measures[key{runtime.GOMAXPROCS(0), par}] = measure{
+				nsPerOp:     elapsed.Nanoseconds() / int64(b.N),
+				allocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(b.N),
+				bytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(b.N),
+			}
 		})
 	}
-	if len(nsPerOp) == 0 {
+	if len(measures) == 0 {
 		return
 	}
 	type row struct {
 		Procs       int     `json:"procs"`
 		Parallelism int     `json:"parallelism"`
 		NsPerOp     int64   `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
 		Speedup     float64 `json:"speedup_vs_serial"`
 	}
-	keys := make([]key, 0, len(nsPerOp))
-	for k := range nsPerOp {
+	keys := make([]key, 0, len(measures))
+	for k := range measures {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -387,8 +407,12 @@ func BenchmarkParallelPipeline(b *testing.B) {
 	})
 	rows := make([]row, 0, len(keys))
 	for _, k := range keys {
-		r := row{Procs: k.procs, Parallelism: k.par, NsPerOp: nsPerOp[k]}
-		if base := nsPerOp[key{k.procs, 1}]; base > 0 && r.NsPerOp > 0 {
+		m := measures[k]
+		r := row{
+			Procs: k.procs, Parallelism: k.par,
+			NsPerOp: m.nsPerOp, AllocsPerOp: m.allocsPerOp, BytesPerOp: m.bytesPerOp,
+		}
+		if base := measures[key{k.procs, 1}].nsPerOp; base > 0 && r.NsPerOp > 0 {
 			r.Speedup = float64(base) / float64(r.NsPerOp)
 		}
 		rows = append(rows, r)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"akb/internal/core"
@@ -78,6 +79,11 @@ func cmdReport(args []string) error {
 	fmt.Print(eval.FormatTable(
 		[]string{"Stage", "Duration", "Attempts", "Health", "Statements", "Stmts/sec", "Error"}, rows))
 
+	if erows := executorRows(rr); len(erows) > 0 {
+		fmt.Println("\nExecutor (mapreduce chunks; quantiles estimated from histogram buckets):")
+		fmt.Print(eval.FormatTable([]string{"Histogram", "Count", "Mean", "~p50", "~p99"}, erows))
+	}
+
 	if *metricsOn && len(rr.Metrics) > 0 {
 		fmt.Println("\nMetrics:")
 		mrows := make([][]string, 0, len(rr.Metrics))
@@ -144,4 +150,50 @@ func orDash(s string) string {
 		return "-"
 	}
 	return s
+}
+
+// executorRows summarises the map-reduce executor's histograms: per-phase
+// chunk latency plus the shared queue-wait distribution, with p50/p99
+// estimated by linear interpolation inside the matching bucket. Queue
+// wait is the scheduling signal: a p99 far above the chunk latency means
+// chunks sat behind a saturated worker pool instead of executing.
+func executorRows(rr *obs.RunReport) [][]string {
+	rows := make([][]string, 0, 4)
+	for _, m := range rr.Metrics {
+		if m.Kind != "histogram" || !strings.HasPrefix(m.Name, "akb_mapreduce_") {
+			continue
+		}
+		if !strings.HasSuffix(m.Name, "_task_seconds") && m.Name != "akb_mapreduce_queue_wait_seconds" {
+			continue
+		}
+		if m.Count == 0 {
+			continue
+		}
+		mean := time.Duration(m.Sum / float64(m.Count) * 1e9)
+		p50 := quantileCell(m, 0.5)
+		p99 := quantileCell(m, 0.99)
+		rows = append(rows, []string{
+			m.Name, strconv.FormatInt(m.Count, 10),
+			mean.Round(time.Microsecond).String(), p50, p99,
+		})
+	}
+	return rows
+}
+
+// quantileCell renders the q-th quantile estimated from per-bin bucket
+// counts; observations past the last bound render as ">bound".
+func quantileCell(m obs.Metric, q float64) string {
+	target := q * float64(m.Count)
+	cum := int64(0)
+	lower := 0.0
+	for _, b := range m.Buckets {
+		cum += b.Count
+		if float64(cum) >= target && b.Count > 0 {
+			frac := (target - float64(cum-b.Count)) / float64(b.Count)
+			secs := lower + frac*(b.LE-lower)
+			return time.Duration(secs * 1e9).Round(100 * time.Nanosecond).String()
+		}
+		lower = b.LE
+	}
+	return ">" + time.Duration(lower*1e9).Round(100*time.Nanosecond).String()
 }

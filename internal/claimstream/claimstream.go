@@ -1,0 +1,227 @@
+// Package claimstream hands extractor statements to fusion while the
+// extractors are still running. Dong et al. (VLDB'14) keep knowledge
+// fusion scalable by structuring it as MapReduce passes over claim
+// batches; the same idea applies one level up in this pipeline: claim
+// building — grouping statements into (item, value, source) assertions —
+// commutes with batching (fusion.ClaimBuilder produces the same sorted
+// *Claims for any partition and arrival order), so the fusion stage can
+// fold each producer's batches the moment they are emitted instead of
+// waiting for the statement union to complete.
+//
+// A Stream is created with the set of producer stage names. Each producer
+// wraps its supervised body with Begin (start of an attempt — discards any
+// partial batches from a previous failed attempt) and Seal (successful
+// end). The scheduler's OnStageEnd hook calls Discard for stages that end
+// non-OK, so a degraded producer's partial stream never reaches fusion —
+// exactly mirroring how the statement union skips degraded extractors.
+// The consumer calls Finalize, which folds batches into per-producer
+// claim builders as they arrive, blocks until every producer is sealed or
+// discarded, and merges the survivors into the canonical *fusion.Claims.
+//
+// Producers never block: Emit appends under a mutex and returns. Finalize
+// is the only waiter, so the stream cannot deadlock the stage scheduler
+// regardless of pool size or failure order.
+package claimstream
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"akb/internal/fusion"
+	"akb/internal/rdf"
+)
+
+// producer tracks one upstream stage's batches and lifecycle.
+type producer struct {
+	// epoch counts Begin calls; a fold started under an older epoch lands
+	// in a builder that has already been replaced and is simply dropped.
+	epoch     int
+	batches   [][]rdf.Statement
+	sealed    bool
+	discarded bool
+	builder   *fusion.ClaimBuilder
+}
+
+// Stream is a bounded hand-off of claim batches from named producer
+// stages to a single Finalize caller. All methods are safe for concurrent
+// use.
+type Stream struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	g         fusion.Granularity
+	producers map[string]*producer
+	cancelled bool
+	// result caches the first successful Finalize so a retried consumer
+	// attempt (the merge is destructive) gets the identical claims back.
+	result *fusion.Claims
+}
+
+// New returns a stream expecting exactly the named producers. Finalize
+// returns only after every one of them has been sealed or discarded.
+func New(g fusion.Granularity, producers ...string) *Stream {
+	s := &Stream{g: g, producers: make(map[string]*producer, len(producers))}
+	s.cond = sync.NewCond(&s.mu)
+	for _, name := range producers {
+		s.producers[name] = &producer{builder: fusion.NewClaimBuilder(g)}
+	}
+	return s
+}
+
+// Expects reports whether the stream was created with the named producer.
+func (s *Stream) Expects(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.producers[name]
+	return ok
+}
+
+// Begin marks the start of a producer attempt, discarding any batches a
+// previous attempt of the same stage emitted before failing. Unknown
+// names are ignored.
+func (s *Stream) Begin(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.producers[name]
+	if !ok {
+		return
+	}
+	p.epoch++
+	p.batches = nil
+	p.sealed = false
+	p.discarded = false
+	p.builder = fusion.NewClaimBuilder(s.g)
+}
+
+// Emit appends a batch of statements from the named producer. It never
+// blocks beyond the mutex and is safe to call from a producer's internal
+// worker goroutines. Empty batches and unknown or discarded producers are
+// no-ops.
+func (s *Stream) Emit(name string, stmts []rdf.Statement) {
+	if len(stmts) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.producers[name]
+	if !ok || p.discarded {
+		return
+	}
+	p.batches = append(p.batches, stmts)
+	s.cond.Broadcast()
+}
+
+// Seal marks the named producer's stream complete: every batch has been
+// emitted and the stage succeeded.
+func (s *Stream) Seal(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.producers[name]
+	if !ok {
+		return
+	}
+	p.sealed = true
+	s.cond.Broadcast()
+}
+
+// Discard drops the named producer's stream: its batches are released and
+// Finalize excludes it, exactly as the statement union excludes a
+// degraded extractor. Unknown names are ignored, so the scheduler hook
+// may call it for every non-OK stage.
+func (s *Stream) Discard(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.producers[name]
+	if !ok {
+		return
+	}
+	p.discarded = true
+	p.sealed = false
+	p.batches = nil
+	s.cond.Broadcast()
+}
+
+// Finalize folds batches into per-producer claim builders as they arrive,
+// waits until every producer is sealed or discarded, and merges the
+// sealed producers into the canonical *fusion.Claims — byte-identical to
+// fusion.BuildClaims over the concatenation of the surviving producers'
+// statements, in any arrival order. It returns ctx.Err() if the context
+// is cancelled while producers are still outstanding. A repeated call
+// (a retried consumer attempt) returns the first call's claims.
+func (s *Stream) Finalize(ctx context.Context) (*fusion.Claims, error) {
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cancelled = true
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	s.mu.Lock()
+	if s.result != nil {
+		res := s.result
+		s.mu.Unlock()
+		return res, nil
+	}
+	for {
+		if p := s.pendingLocked(); p != nil {
+			// Fold outside the lock: Begin replaces the builder rather than
+			// reusing it, so a fold racing a retry lands in an orphaned
+			// builder and is dropped with it.
+			batches := p.batches
+			p.batches = nil
+			b := p.builder
+			s.mu.Unlock()
+			for _, batch := range batches {
+				b.Add(batch...)
+			}
+			s.mu.Lock()
+			continue
+		}
+		if s.settledLocked() {
+			break
+		}
+		if s.cancelled {
+			s.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		s.cond.Wait()
+	}
+	names := make([]string, 0, len(s.producers))
+	for name, p := range s.producers {
+		if p.sealed {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	merged := fusion.NewClaimBuilder(s.g)
+	for _, name := range names {
+		merged.Merge(s.producers[name].builder)
+		s.producers[name].builder = nil
+	}
+	s.result = merged.Build()
+	res := s.result
+	s.mu.Unlock()
+	return res, nil
+}
+
+// pendingLocked returns a live producer with unfolded batches, or nil.
+func (s *Stream) pendingLocked() *producer {
+	for _, p := range s.producers {
+		if !p.discarded && len(p.batches) > 0 {
+			return p
+		}
+	}
+	return nil
+}
+
+// settledLocked reports whether every producer has been sealed or
+// discarded with no batches left to fold.
+func (s *Stream) settledLocked() bool {
+	for _, p := range s.producers {
+		if !p.sealed && !p.discarded {
+			return false
+		}
+	}
+	return true
+}

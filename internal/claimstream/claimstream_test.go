@@ -1,0 +1,189 @@
+package claimstream
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"akb/internal/fusion"
+	"akb/internal/rdf"
+)
+
+// stmt builds a test statement.
+func stmt(item, value, source string, conf float64) rdf.Statement {
+	return rdf.S(
+		rdf.T(rdf.AKB.IRI("e/"+item), rdf.AKB.IRI("attr/p"), rdf.Literal(value)),
+		rdf.Provenance{Source: source, Extractor: "x"},
+		conf,
+	)
+}
+
+// synth generates a deterministic pile of overlapping statements: several
+// sources claim values of shared items with duplicate (item, value,
+// source) assertions at different confidences, so max-confidence merging
+// is exercised.
+func synth(seed int64, n int) []rdf.Statement {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]rdf.Statement, 0, n)
+	for i := 0; i < n; i++ {
+		item := fmt.Sprintf("item%02d", r.Intn(20))
+		value := fmt.Sprintf("v%d", r.Intn(4))
+		source := fmt.Sprintf("src%d", r.Intn(5))
+		out = append(out, stmt(item, value, source, 0.1+0.8*r.Float64()))
+	}
+	return out
+}
+
+// TestFinalizeMatchesBuildClaims is the streaming-correctness contract:
+// for any partition of the statements into producers and batches, emitted
+// concurrently in any order, Finalize returns claims deeply equal to
+// BuildClaims over the whole statement list.
+func TestFinalizeMatchesBuildClaims(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		stmts := synth(seed, 400)
+		want := fusion.BuildClaims(stmts, fusion.BySourceExtractor)
+
+		producers := []string{"a", "b", "c"}
+		s := New(fusion.BySourceExtractor, producers...)
+		r := rand.New(rand.NewSource(seed * 100))
+		// Partition statements round-robin-ish across producers, then
+		// split each producer's share into random batches.
+		shares := make([][]rdf.Statement, len(producers))
+		for _, st := range stmts {
+			i := r.Intn(len(producers))
+			shares[i] = append(shares[i], st)
+		}
+		var wg sync.WaitGroup
+		for i, name := range producers {
+			wg.Add(1)
+			go func(name string, share []rdf.Statement) {
+				defer wg.Done()
+				s.Begin(name)
+				for len(share) > 0 {
+					k := 1 + rand.Intn(len(share))
+					s.Emit(name, share[:k])
+					share = share[k:]
+				}
+				s.Seal(name)
+			}(name, shares[i])
+		}
+		got, err := s.Finalize(context.Background())
+		wg.Wait()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d: streamed claims differ from BuildClaims", seed)
+		}
+	}
+}
+
+// TestBeginDiscardsFailedAttempt checks the retry contract: batches from
+// an attempt that failed before sealing vanish when the next attempt
+// begins.
+func TestBeginDiscardsFailedAttempt(t *testing.T) {
+	s := New(fusion.BySource, "p")
+	s.Begin("p")
+	s.Emit("p", []rdf.Statement{stmt("i", "stale", "s1", 0.9)})
+	// Attempt fails; the supervisor retries and the body begins again.
+	s.Begin("p")
+	fresh := []rdf.Statement{stmt("i", "fresh", "s1", 0.9)}
+	s.Emit("p", fresh)
+	s.Seal("p")
+	got, err := s.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fusion.BuildClaims(fresh, fusion.BySource); !reflect.DeepEqual(got, want) {
+		t.Errorf("claims after retry = %+v, want only the fresh batch", got.Items)
+	}
+}
+
+// TestDiscardExcludesProducer checks a degraded producer's partial stream
+// never reaches the merged claims — mirroring how the union skips
+// degraded extractors.
+func TestDiscardExcludesProducer(t *testing.T) {
+	s := New(fusion.BySource, "ok", "bad")
+	s.Begin("ok")
+	okStmts := []rdf.Statement{stmt("i", "good", "s1", 0.9)}
+	s.Emit("ok", okStmts)
+	s.Seal("ok")
+	s.Begin("bad")
+	s.Emit("bad", []rdf.Statement{stmt("i", "poison", "s2", 0.9)})
+	s.Discard("bad") // the scheduler hook fires on the degraded stage
+	got, err := s.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fusion.BuildClaims(okStmts, fusion.BySource); !reflect.DeepEqual(got, want) {
+		t.Errorf("discarded producer leaked into claims: %+v", got.Items)
+	}
+}
+
+// TestFinalizeFoldsBeforeSeal checks Finalize makes progress on batches
+// emitted before any producer seals — the overlap that makes streaming
+// pay — by emitting from a goroutine that only seals after the batch has
+// had time to be folded. Functional check only: the batch must arrive.
+func TestFinalizeFoldsBeforeSeal(t *testing.T) {
+	s := New(fusion.BySource, "p")
+	stmts := []rdf.Statement{stmt("i", "v", "s1", 0.9)}
+	go func() {
+		s.Begin("p")
+		s.Emit("p", stmts)
+		time.Sleep(10 * time.Millisecond)
+		s.Seal("p")
+	}()
+	got, err := s.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != 1 {
+		t.Errorf("got %d items, want 1", len(got.Items))
+	}
+}
+
+// TestFinalizeCancelled checks a cancelled context unblocks Finalize with
+// the context's error while a producer is still outstanding.
+func TestFinalizeCancelled(t *testing.T) {
+	s := New(fusion.BySource, "never")
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.Finalize(ctx)
+		errCh <- err
+	}()
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != context.Canceled {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Finalize did not unblock on cancellation")
+	}
+}
+
+// TestFinalizeRepeatedReturnsCached checks a retried consumer attempt
+// gets the first attempt's claims back instead of re-merging consumed
+// builders.
+func TestFinalizeRepeatedReturnsCached(t *testing.T) {
+	s := New(fusion.BySource, "p")
+	s.Begin("p")
+	s.Emit("p", []rdf.Statement{stmt("i", "v", "s1", 0.9)})
+	s.Seal("p")
+	first, err := s.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Finalize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("repeated Finalize did not return the cached claims")
+	}
+}

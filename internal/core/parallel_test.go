@@ -2,9 +2,12 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"runtime"
 	"testing"
+
+	"akb/internal/fusion"
 )
 
 // assertResultsEqual deep-compares the observable output of two pipeline
@@ -39,64 +42,76 @@ func assertResultsEqual(t *testing.T, serial, parallel *Result, label string) {
 	}
 }
 
+// parallelisms are the pool sizes every determinism test sweeps; 1 is
+// the serial baseline the others must match byte-for-byte.
+var parallelisms = []int{1, 2, 4}
+
 // TestPipelineParallelMatchesSerial is the determinism acceptance test:
-// the default pipeline at Parallelism GOMAXPROCS produces a Result deeply
-// equal to the strictly serial run. Run under -race in CI, it also proves
-// the concurrent stages share no unsynchronised state.
+// the default pipeline (which streams claims into fusion) produces a
+// Result deeply equal to the strictly serial run at every swept
+// parallelism, plus GOMAXPROCS. Run under -race in CI, it also proves the
+// concurrent stages share no unsynchronised state.
 func TestPipelineParallelMatchesSerial(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.Parallelism = 1
-	serial, err := RunContext(context.Background(), cfg)
-	if err != nil {
-		t.Fatal(err)
+	run := func(par int) *Result {
+		cfg := DefaultConfig()
+		cfg.Parallelism = par
+		res, err := RunContext(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return res
 	}
-	pcfg := DefaultConfig()
-	pcfg.Parallelism = runtime.GOMAXPROCS(0)
-	parallel, err := RunContext(context.Background(), pcfg)
-	if err != nil {
-		t.Fatal(err)
+	serial := run(1)
+	pars := append([]int{}, parallelisms[1:]...)
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		pars = append(pars, p)
 	}
-	assertResultsEqual(t, serial, parallel, "default config")
+	for _, par := range pars {
+		assertResultsEqual(t, serial, run(par), fmt.Sprintf("default config par=%d", par))
+	}
 }
 
 // TestPipelineParallelMatchesSerialAllFeatures exercises the full DAG:
 // list pages, temporal extraction, entity discovery and alignment all on,
-// so every conditional stage and edge is scheduled.
+// so every conditional stage and edge is scheduled (and, because
+// alignment and discovery rewrite the union, the non-streaming fusion
+// path is the one under test).
 func TestPipelineParallelMatchesSerialAllFeatures(t *testing.T) {
-	base := chaosConfig()
-	base.ListPages = true
-	base.Temporal = true
-	base.DiscoverEntities = true
-	base.Align = true
-
-	cfg := base
-	cfg.Parallelism = 1
-	serial, err := RunContext(context.Background(), cfg)
-	if err != nil {
-		t.Fatal(err)
+	run := func(par int) *Result {
+		cfg := chaosConfig()
+		cfg.ListPages = true
+		cfg.Temporal = true
+		cfg.DiscoverEntities = true
+		cfg.Align = true
+		cfg.Parallelism = par
+		res, err := RunContext(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return res
 	}
-	pcfg := base
-	pcfg.Parallelism = 4
-	parallel, err := RunContext(context.Background(), pcfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	assertResultsEqual(t, serial, parallel, "all features")
-	if parallel.Lists == nil || parallel.Discovered == nil || len(parallel.Timelines) == 0 {
-		t.Error("conditional stage outputs missing from parallel run")
-	}
-	if !reflect.DeepEqual(parallel.Timelines, serial.Timelines) {
-		t.Error("timelines differ between serial and parallel runs")
-	}
-	if !reflect.DeepEqual(parallel.AlignReport, serial.AlignReport) {
-		t.Error("align reports differ between serial and parallel runs")
+	serial := run(1)
+	for _, par := range parallelisms[1:] {
+		parallel := run(par)
+		label := fmt.Sprintf("all features par=%d", par)
+		assertResultsEqual(t, serial, parallel, label)
+		if parallel.Lists == nil || parallel.Discovered == nil || len(parallel.Timelines) == 0 {
+			t.Errorf("%s: conditional stage outputs missing", label)
+		}
+		if !reflect.DeepEqual(parallel.Timelines, serial.Timelines) {
+			t.Errorf("%s: timelines differ", label)
+		}
+		if !reflect.DeepEqual(parallel.AlignReport, serial.AlignReport) {
+			t.Errorf("%s: align reports differ", label)
+		}
 	}
 }
 
 // TestPipelineParallelChaosDeterministic checks fault injection composes
 // with the scheduler: the same fault seed degrades the same stages at
-// Parallelism 1 and 4, because fault decisions hash (seed, stage,
-// attempt) and never depend on execution order.
+// every parallelism, because fault decisions hash (seed, stage, attempt)
+// and never depend on execution order. Degraded extractors exercise the
+// claim stream's discard path.
 func TestPipelineParallelChaosDeterministic(t *testing.T) {
 	run := func(par int) *Result {
 		cfg := chaosConfig()
@@ -108,9 +123,38 @@ func TestPipelineParallelChaosDeterministic(t *testing.T) {
 		}
 		return res
 	}
-	serial, parallel := run(1), run(4)
-	if !reflect.DeepEqual(parallel.Health().Degraded(), serial.Health().Degraded()) {
-		t.Errorf("degraded sets differ: %v vs %v", parallel.Health().Degraded(), serial.Health().Degraded())
+	serial := run(1)
+	if len(serial.Health().Degraded()) == 0 {
+		t.Fatal("chaos plan degraded nothing; the discard path is untested")
 	}
-	assertResultsEqual(t, serial, parallel, "chaos")
+	for _, par := range parallelisms[1:] {
+		parallel := run(par)
+		label := fmt.Sprintf("chaos par=%d", par)
+		if !reflect.DeepEqual(parallel.Health().Degraded(), serial.Health().Degraded()) {
+			t.Errorf("%s: degraded sets differ: %v vs %v", label, parallel.Health().Degraded(), serial.Health().Degraded())
+		}
+		assertResultsEqual(t, serial, parallel, label)
+	}
+}
+
+// TestStreamedFusionMatchesUnionRebuild pins the claim-stream contract at
+// the pipeline level: fusing claims rebuilt from the completed statement
+// union reproduces exactly the decisions the streaming fusion stage
+// produced from incrementally folded batches.
+func TestStreamedFusionMatchesUnionRebuild(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Parallelism = 4
+	res, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims := fusion.BuildClaims(res.Statements, cfg.Granularity)
+	method := &fusion.Full{Forest: res.World.Hier, Workers: cfg.Parallelism}
+	rebuilt := method.Fuse(claims)
+	if !reflect.DeepEqual(rebuilt.Decisions, res.Fused().Decisions) {
+		t.Error("decisions from rebuilt union claims differ from streamed fusion")
+	}
+	if !reflect.DeepEqual(rebuilt.SourceQuality, res.Fused().SourceQuality) {
+		t.Error("source quality from rebuilt union claims differs from streamed fusion")
+	}
 }

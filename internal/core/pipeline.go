@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"akb/internal/align"
+	"akb/internal/claimstream"
 	"akb/internal/confidence"
 	"akb/internal/entitydisc"
 	"akb/internal/eval"
@@ -321,8 +322,27 @@ func runPipeline(ctx context.Context, cfg Config) (*Result, error) {
 			OnStage: cfg.StageHook,
 		},
 	}
+	// Stream claims from the extractors into fusion unless a pre-fusion
+	// stage (alignment, entity discovery) rewrites the unioned statement
+	// list — those must see the complete union, so fusion falls back to
+	// BuildClaims over Result.Statements.
+	if !cfg.Align && !cfg.DiscoverEntities {
+		producers := []string{StageKBX, StageDOMX, StageTextX}
+		if cfg.ListPages {
+			producers = append(producers, StageLists)
+		}
+		p.stream = claimstream.New(cfg.Granularity, producers...)
+	}
 	stages := p.stages()
-	out, err := sched.Run(ctx, sched.Options{Parallelism: cfg.Parallelism, Supervisor: p.sup}, stages)
+	opts := sched.Options{Parallelism: cfg.Parallelism, Supervisor: p.sup}
+	if p.stream != nil {
+		opts.OnStageEnd = func(rep resilience.Report) {
+			if rep.Health != resilience.OK {
+				p.stream.Discard(rep.Stage)
+			}
+		}
+	}
+	out, err := sched.Run(ctx, opts, stages)
 	if err != nil {
 		return nil, err
 	}
@@ -351,13 +371,17 @@ type pipelineRun struct {
 	mu    sync.Mutex
 	stats map[string]*StageStat
 
-	dbp, fb *kb.SourceKB
-	stream  *querystream.Stream
-	sites   []*webgen.Site
-	corpus  []*webgen.Document
-	entIdx  *extract.EntityIndex
-	kbStmts []rdf.Statement
-	listRes *domx.ListResult
+	// stream, when non-nil, hands extractor claim batches straight to the
+	// fusion stage; nil means fusion rebuilds claims from the union.
+	stream *claimstream.Stream
+
+	dbp, fb  *kb.SourceKB
+	qsStream *querystream.Stream
+	sites    []*webgen.Site
+	corpus   []*webgen.Document
+	entIdx   *extract.EntityIndex
+	kbStmts  []rdf.Statement
+	listRes  *domx.ListResult
 }
 
 // stages builds the pipeline DAG. The list is given in the legacy serial
@@ -371,6 +395,11 @@ func (p *pipelineRun) stages() []sched.Stage {
 		retry = resilience.DefaultRetry()
 	}
 	st := func(name string, soft bool, after []string, body func(context.Context) error) sched.Stage {
+		if p.stream != nil {
+			if wrapped := p.produceStream(name, body); wrapped != nil {
+				body = wrapped
+			}
+		}
 		return sched.Stage{
 			Name: name, After: after, Optional: soft,
 			Retry: retry, Timeout: p.cfg.StageTimeout, Run: body,
@@ -400,6 +429,20 @@ func (p *pipelineRun) stages() []sched.Stage {
 		st(StageUnion, mandatory, unionAfter, p.unionStatements),
 	)
 	fusionAfter := []string{StageUnion}
+	var fusionStream []string
+	if p.stream != nil {
+		// Fusion consumes the extractors' claim stream instead of the
+		// completed union: it may start as soon as every producer has
+		// started, overlapping claim building with extraction. The union
+		// stage still runs (Result.Statements keeps its exact legacy
+		// content and order) but no longer gates fusion. The stage list
+		// keeps union ahead of fusion, so the reported order is unchanged.
+		fusionAfter = nil
+		fusionStream = []string{StageKBX, StageDOMX, StageTextX}
+		if p.cfg.ListPages {
+			fusionStream = append(fusionStream, StageLists)
+		}
+	}
 	if p.cfg.Temporal {
 		stages = append(stages, st(StageTemporal, optional, []string{StageCorpus, StageFreebase}, p.extractTemporal))
 	}
@@ -414,11 +457,30 @@ func (p *pipelineRun) stages() []sched.Stage {
 		stages = append(stages, st(StageAlign, optional, fusionAfter, p.alignStatements))
 		fusionAfter = append(fusionAfter, StageAlign)
 	}
+	fusionStage := st(StageFusion, mandatory, fusionAfter, p.fuse)
+	fusionStage.StreamAfter = fusionStream
 	stages = append(stages,
-		st(StageFusion, mandatory, fusionAfter, p.fuse),
+		fusionStage,
 		st(StageAugment, mandatory, []string{StageFusion}, p.augment),
 	)
 	return stages
+}
+
+// produceStream wraps a claim-producing stage body with the stream
+// lifecycle: Begin at each attempt start (discarding a failed attempt's
+// partial batches) and Seal on success. Non-producer stages return nil.
+func (p *pipelineRun) produceStream(name string, body func(context.Context) error) func(context.Context) error {
+	if !p.stream.Expects(name) {
+		return nil
+	}
+	return func(ctx context.Context) error {
+		p.stream.Begin(name)
+		if err := body(ctx); err != nil {
+			return err
+		}
+		p.stream.Seal(name)
+		return nil
+	}
 }
 
 // assemble converts the scheduler outcome into Result.Health and
@@ -505,7 +567,7 @@ func (p *pipelineRun) genFreebase(context.Context) error {
 
 // genStream generates the query stream.
 func (p *pipelineRun) genStream(context.Context) error {
-	p.stream = querystream.Generate(p.res.World, p.cfg.Stream)
+	p.qsStream = querystream.Generate(p.res.World, p.cfg.Stream)
 	return nil
 }
 
@@ -526,7 +588,16 @@ func (p *pipelineRun) genCorpus(context.Context) error {
 func (p *pipelineRun) extractKB(ctx context.Context) error {
 	res := p.res
 	res.KBX = kbx.ExtractAttributes(ctx, p.crit, p.dbp, p.fb)
-	p.kbStmts = append(kbx.ExtractStatements(ctx, p.crit, p.dbp), kbx.ExtractStatements(ctx, p.crit, p.fb)...)
+	dbpStmts := kbx.ExtractStatements(ctx, p.crit, p.dbp)
+	if p.stream != nil {
+		// Hand each KB's statements to fusion as soon as they exist.
+		p.stream.Emit(StageKBX, dbpStmts)
+	}
+	fbStmts := kbx.ExtractStatements(ctx, p.crit, p.fb)
+	if p.stream != nil {
+		p.stream.Emit(StageKBX, fbStmts)
+	}
+	p.kbStmts = append(dbpStmts, fbStmts...)
 	obs.Current(ctx).AnnotateInt("statements", int64(len(p.kbStmts)))
 	p.addStat(StageKBX, fmt.Sprintf("%d classes combined", len(res.KBX.PerClass)), p.kbStmts)
 	return nil
@@ -537,7 +608,7 @@ func (p *pipelineRun) extractKB(ctx context.Context) error {
 // attribute evidence, not statements).
 func (p *pipelineRun) extractQS(ctx context.Context) error {
 	res := p.res
-	qres := qsx.Extract(ctx, p.stream, p.entIdx, p.cfg.QSX, p.crit)
+	qres := qsx.Extract(ctx, p.qsStream, p.entIdx, p.cfg.QSX, p.crit)
 	credible, genuine := 0, 0
 	for class, cr := range qres.PerClass {
 		cls := res.World.Ontology.Class(class)
@@ -558,7 +629,7 @@ func (p *pipelineRun) extractQS(ctx context.Context) error {
 	obs.Current(ctx).AnnotateInt("statements", int64(credible))
 	p.setStat(StageQSX, StageStat{
 		Stage:      StageQSX,
-		Detail:     fmt.Sprintf("%d records scanned, %d credible attrs", p.stream.Len(), credible),
+		Detail:     fmt.Sprintf("%d records scanned, %d credible attrs", p.qsStream.Len(), credible),
 		Statements: credible,
 		Precision:  prec,
 	})
@@ -591,6 +662,11 @@ func (p *pipelineRun) extractDOM(ctx context.Context) error {
 	if p.cfg.DiscoverEntities {
 		dcfg.DiscoverEntities = true
 	}
+	if p.stream != nil {
+		// Emit each class shard's statements from the extractor's own
+		// worker goroutines as the shard completes; Emit is concurrency-safe.
+		dcfg.Emit = func(batch []rdf.Statement) { p.stream.Emit(StageDOMX, batch) }
+	}
 	res.DOMX = domx.Extract(ctx, domx.FromWebgen(p.sites), p.entIdx, res.SeedSets, dcfg, p.crit)
 	obs.Current(ctx).AnnotateInt("statements", int64(len(res.DOMX.Statements)))
 	p.addStat(StageDOMX,
@@ -612,6 +688,9 @@ func (p *pipelineRun) extractLists(ctx context.Context) error {
 	known, unknown := splitHostsByClass(lists, classOf)
 	listRes := domx.ExtractLists(ctx, domx.ListsFromWebgen(known, classOf), p.entIdx, domx.ListConfig{}, p.crit)
 	p.listRes = listRes
+	if p.stream != nil {
+		p.stream.Emit(StageLists, listRes.Statements)
+	}
 	obs.Current(ctx).AnnotateInt("statements", int64(len(listRes.Statements)))
 	res.Lists = listRes
 	detail := fmt.Sprintf("%d regions, %d records", listRes.Regions, listRes.Records)
@@ -630,6 +709,9 @@ func (p *pipelineRun) extractText(ctx context.Context) error {
 		tcfg.DiscoverEntities = true
 	}
 	res.TextX = textx.Extract(ctx, p.corpus, p.entIdx, res.SeedSets, tcfg, p.crit)
+	if p.stream != nil {
+		p.stream.Emit(StageTextX, res.TextX.Statements)
+	}
 	obs.Current(ctx).AnnotateInt("statements", int64(len(res.TextX.Statements)))
 	p.addStat(StageTextX,
 		fmt.Sprintf("%d docs, %d patterns", len(p.corpus), len(res.TextX.Patterns)), res.TextX.Statements)
@@ -732,10 +814,27 @@ func (p *pipelineRun) fuse(ctx context.Context) error {
 	method := p.cfg.Method
 	if method == nil {
 		// The default method carries the run's registry so the mapreduce
-		// executor underneath it records fanout and task latencies.
-		method = &fusion.Full{Forest: res.World.Hier, Obs: reg}
+		// executor underneath it records fanout and task latencies. Its
+		// worker pool follows the pipeline's parallelism: a Parallelism<=1
+		// run stays genuinely serial instead of silently fanning out to
+		// GOMAXPROCS, which kept the "serial" baseline from ever losing to
+		// the parallel configuration it was compared against.
+		workers := p.cfg.Parallelism
+		if workers < 1 {
+			workers = 1
+		}
+		method = &fusion.Full{Forest: res.World.Hier, Workers: workers, Obs: reg}
 	}
-	claims := fusion.BuildClaims(res.Statements, p.cfg.Granularity)
+	var claims *fusion.Claims
+	if p.stream != nil {
+		var err error
+		claims, err = p.stream.Finalize(ctx)
+		if err != nil {
+			return err
+		}
+	} else {
+		claims = fusion.BuildClaims(res.Statements, p.cfg.Granularity)
+	}
 	res.fused = method.Fuse(claims)
 	res.FusionMetrics = p.scorer.ScoreFusion(res.fused)
 	reg.Counter("akb_fusion_claims_total").Add(int64(claims.NumClaims()))

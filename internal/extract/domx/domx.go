@@ -81,6 +81,14 @@ type Config struct {
 	// concurrently. Results merge deterministically, so output is
 	// byte-identical at any worker count. <= 1 runs fully serial.
 	Workers int
+	// Emit, when set, receives each class shard's finished statement batch
+	// as soon as that shard completes — from the extraction worker
+	// goroutine, so it must be safe for concurrent use. Batches are
+	// disjoint across shards and concatenate (in any order) to exactly the
+	// statements of Result.Statements; downstream consumers (the fusion
+	// claim stream) can therefore start folding claims before the slowest
+	// class finishes.
+	Emit func([]rdf.Statement)
 }
 
 // DefaultConfig returns the standard configuration.
@@ -154,11 +162,22 @@ type shard struct {
 
 // shardOut is one shard's complete, self-contained extraction state.
 type shardOut struct {
-	cr     *ClassResult
-	claims map[claim]*claimEvidence
+	cr *ClassResult
+	// stmts holds the shard's confidence-scored statements in canonical
+	// claim-key order; stmtKeys is aligned with it (one key per statement,
+	// repeated across a claim's per-site provenance statements) so the
+	// cross-shard merge can reproduce the global order without re-sorting.
+	stmts    []rdf.Statement
+	stmtKeys []claim
 	// facts is aligned with shard.sites: the entity facts each site
 	// produced, in that site's generation order.
 	facts [][]EntityFact
+}
+
+// seenKey dedups (attribute, host, page) support counts without building a
+// concatenated string key on every lookup.
+type seenKey struct {
+	label, host, url string
 }
 
 // shardByClass groups sites by class in class-first-appearance order.
@@ -181,8 +200,10 @@ func shardByClass(sites []Site) []shard {
 // runShard executes Algorithm 1 serially over one class's sites. All
 // mutable state (attribute set, claims, dedup keys) is shard-local:
 // entities resolve to exactly one class, so no claim, host, or attribute
-// set is ever shared between shards.
-func runShard(sh shard, idx *extract.EntityIndex, seeds map[string]extract.AttrSet, cfg Config) shardOut {
+// set is ever shared between shards. The shard's statements are built (and
+// emitted, when cfg.Emit is set) here in the worker, so the caller's merge
+// is a cheap ordered interleave instead of a global sort.
+func runShard(sh shard, idx *extract.EntityIndex, seeds map[string]extract.AttrSet, cfg Config, crit *confidence.Criterion) shardOut {
 	seedSet := extract.NewAttrSet()
 	if s, ok := seeds[sh.class]; ok {
 		seedSet = s.Clone()
@@ -195,15 +216,20 @@ func runShard(sh shard, idx *extract.EntityIndex, seeds map[string]extract.AttrS
 			patternSet:  make(map[string]struct{}),
 			entityPaths: make(map[string]struct{}),
 		},
-		claims: make(map[claim]*claimEvidence),
-		facts:  make([][]EntityFact, len(sh.sites)),
+		facts: make([][]EntityFact, len(sh.sites)),
 	}
-	seen := make(map[string]struct{}) // attr|host|url dedup for support counts
+	claims := make(map[claim]*claimEvidence)
+	seen := make(map[seenKey]struct{}) // (attr, host, url) dedup for support counts
+	var scratch pageScratch
 	for i, site := range sh.sites {
 		if cfg.SeedCap > 0 && out.cr.All.Len() >= cfg.SeedCap {
 			continue
 		}
-		out.facts[i] = extractSite(site, idx, out.cr, cfg, out.claims, seen)
+		out.facts[i] = extractSite(site, idx, out.cr, cfg, claims, seen, &scratch)
+	}
+	out.stmts, out.stmtKeys = buildStatements(claims, crit)
+	if cfg.Emit != nil && len(out.stmts) > 0 {
+		cfg.Emit(out.stmts)
 	}
 	return out
 }
@@ -223,18 +249,11 @@ func Extract(ctx context.Context, sites []Site, idx *extract.EntityIndex, seeds 
 	}
 	res := &Result{PerClass: make(map[string]*ClassResult)}
 	shards := shardByClass(sites)
-	outs := mapreduce.MapPhase(mapreduce.Config{Workers: max(cfg.Workers, 1), Obs: obs.Reg(ctx)},
-		shards, func(sh shard) []mapreduce.KV[shardOut] {
-			return []mapreduce.KV[shardOut]{{Key: sh.class, Value: runShard(sh, idx, seeds, cfg)}}
-		})
-	claims := make(map[claim]*claimEvidence)
+	outs := mapreduce.Map(mapreduce.Config{Workers: max(cfg.Workers, 1), Obs: obs.Reg(ctx)},
+		shards, func(sh shard) shardOut { return runShard(sh, idx, seeds, cfg, crit) })
 	factsBySite := make([][]EntityFact, len(sites))
-	for s, kv := range outs { // outs[s] aligns with shards[s]
-		out := kv.Value
+	for s, out := range outs { // outs[s] aligns with shards[s]
 		res.PerClass[out.cr.Class] = out.cr
-		for c, ev := range out.claims {
-			claims[c] = ev // disjoint: a claim's entity belongs to one class
-		}
 		for k, fs := range out.facts {
 			factsBySite[shards[s].indices[k]] = fs
 		}
@@ -251,7 +270,7 @@ func Extract(ctx context.Context, sites []Site, idx *extract.EntityIndex, seeds 
 			crit.ScoreAttrSet(extract.ExtractorDOM, cr.All)
 		}
 	}
-	res.Statements = buildStatements(claims, crit)
+	res.Statements = mergeStatements(outs)
 	reg := obs.Reg(ctx)
 	reg.Counter("akb_domx_statements_total").Add(int64(len(res.Statements)))
 	discovered := 0
@@ -262,23 +281,121 @@ func Extract(ctx context.Context, sites []Site, idx *extract.EntityIndex, seeds 
 	return res
 }
 
-func extractSite(site Site, idx *extract.EntityIndex, cr *ClassResult, cfg Config, claims map[claim]*claimEvidence, seen map[string]struct{}) []EntityFact {
-	type pageState struct {
-		page    Page
-		entity  string
-		eNode   *htmldom.Node
-		texts   []*htmldom.Node
-		counted bool
+// pageState is one recognised page plus every per-text derivation the
+// fixpoint passes need. All cached fields are pure functions of the page
+// and its entity node, so passes 2..MaxPasses reuse them instead of
+// re-normalising text and re-walking the DOM — the dominant cost of the
+// original per-pass recomputation.
+type pageState struct {
+	page     Page
+	entity   string
+	entLower string
+	eNode    *htmldom.Node
+	texts    []*htmldom.Node
+	norm     []string // NormalizeSpace(texts[i].Text)
+	label    []string // NormalizeLabel(norm[i])
+	// Lazy caches, filled on first use: the entity-relative tag path per
+	// text node, its normalised pattern (and canonical string), and the
+	// adjacent value per position.
+	path         []htmldom.TagPath
+	pathOK       []bool
+	pathDone     []bool
+	normPath     []htmldom.TagPath
+	normPathStr  []string
+	normPathDone []bool
+	value        []string
+	valueDone    []bool
+	counted      bool
+}
+
+// pathTo returns the cached tag path from the entity node to texts[i].
+func (st *pageState) pathTo(i int, step htmldom.StepFunc) (htmldom.TagPath, bool) {
+	if !st.pathDone[i] {
+		st.pathDone[i] = true
+		st.path[i], st.pathOK[i] = htmldom.PathBetweenFunc(st.eNode, st.texts[i], step)
 	}
+	return st.path[i], st.pathOK[i]
+}
+
+// normPathAt returns the cached normalised pattern (and its canonical
+// string) of the path to texts[i]; ok mirrors pathTo.
+func (st *pageState) normPathAt(i int, step htmldom.StepFunc) (htmldom.TagPath, string, bool) {
+	if !st.normPathDone[i] {
+		st.normPathDone[i] = true
+		if p, ok := st.pathTo(i, step); ok {
+			st.normPath[i] = p.Normalize()
+			st.normPathStr[i] = st.normPath[i].String()
+		}
+	}
+	_, ok := st.pathTo(i, step)
+	return st.normPath[i], st.normPathStr[i], ok
+}
+
+// valueAt returns the cached adjacent value for the label at position i.
+func (st *pageState) valueAt(i int) string {
+	if !st.valueDone[i] {
+		st.valueDone[i] = true
+		for j := i + 1; j < len(st.texts); j++ {
+			raw := st.norm[j]
+			if raw == "" {
+				continue
+			}
+			if !strings.HasSuffix(raw, ":") {
+				st.value[i] = raw
+			}
+			break // adjacent label: the expected value is missing
+		}
+	}
+	return st.value[i]
+}
+
+// pageScratch holds per-shard reusable buffers for extractPage, so the
+// per-pass known/candidate partitions and induced-pattern list stop
+// allocating on every (page, pass) visit.
+type pageScratch struct {
+	known, cand []int // text indices
+	induced     []htmldom.TagPath
+}
+
+func extractSite(site Site, idx *extract.EntityIndex, cr *ClassResult, cfg Config, claims map[claim]*claimEvidence, seen map[seenKey]struct{}, scratch *pageScratch) []EntityFact {
 	states := make([]*pageState, 0, len(site.Pages))
 	var unknown []Page
 	for _, p := range site.Pages {
-		entity, eNode := findEntityNode(p.Doc, idx, site.Class)
+		// One traversal serves both entity recognition and label caching;
+		// findEntityNode used to walk and normalise the same text nodes a
+		// second time.
+		texts := bodyTextNodes(p.Doc)
+		norm := make([]string, len(texts))
+		for i, tn := range texts {
+			norm[i] = htmldom.NormalizeSpace(tn.Text)
+		}
+		entity := ""
+		var eNode *htmldom.Node
+		for i, tn := range texts {
+			if c, ok := idx.Class(norm[i]); ok && c == site.Class {
+				entity, eNode = norm[i], tn
+				break
+			}
+		}
 		if eNode == nil {
 			unknown = append(unknown, p)
 			continue
 		}
-		states = append(states, &pageState{page: p, entity: entity, eNode: eNode, texts: bodyTextNodes(p.Doc)})
+		n := len(texts)
+		st := &pageState{
+			page: p, entity: entity, entLower: strings.ToLower(entity),
+			eNode: eNode, texts: texts, norm: norm,
+			label:    make([]string, n),
+			path:     make([]htmldom.TagPath, n),
+			pathOK:   make([]bool, n),
+			pathDone: make([]bool, n),
+			normPath: make([]htmldom.TagPath, n), normPathStr: make([]string, n), normPathDone: make([]bool, n),
+			value: make([]string, n), valueDone: make([]bool, n),
+		}
+		for i := range texts {
+			st.label[i] = extract.NormalizeLabel(norm[i])
+		}
+		states = append(states, st)
 	}
 
 	for pass := 0; pass < cfg.MaxPasses; pass++ {
@@ -287,7 +404,7 @@ func extractSite(site Site, idx *extract.EntityIndex, cr *ClassResult, cfg Confi
 			if cfg.SeedCap > 0 && cr.All.Len() >= cfg.SeedCap {
 				return nil
 			}
-			if extractPage(site, st.page, st.entity, st.eNode, st.texts, cr, cfg, claims, seen, &st.counted) {
+			if extractPage(site, st, cr, cfg, claims, seen, scratch) {
 				grew = true
 			}
 		}
@@ -411,57 +528,56 @@ func plausibleEntityName(name string) bool {
 
 // extractPage runs one Algorithm-1 step on a page and reports whether the
 // class attribute set grew.
-func extractPage(site Site, page Page, entity string, eNode *htmldom.Node, texts []*htmldom.Node, cr *ClassResult, cfg Config, claims map[claim]*claimEvidence, seen map[string]struct{}, counted *bool) bool {
+func extractPage(site Site, st *pageState, cr *ClassResult, cfg Config, claims map[claim]*claimEvidence, seen map[seenKey]struct{}, scratch *pageScratch) bool {
 	// Step 1: induced tag path pattern set — paths from the entity node to
-	// every node whose label is already a known attribute.
-	var induced []htmldom.TagPath
-	type labelNode struct {
-		node  *htmldom.Node
-		label string
-		pos   int
-	}
-	var knownLabels, candidates []labelNode
-	for i, tn := range texts {
-		if tn == eNode {
+	// every node whose label is already a known attribute. The known /
+	// candidate partition depends on the growing attribute set, so it is
+	// recomputed per pass — into reused scratch buffers.
+	known := scratch.known[:0]
+	candidates := scratch.cand[:0]
+	for i, tn := range st.texts {
+		if tn == st.eNode {
 			continue
 		}
-		label := extract.NormalizeLabel(htmldom.NormalizeSpace(tn.Text))
-		if label == "" || label == strings.ToLower(entity) {
+		label := st.label[i]
+		if label == "" || label == st.entLower {
 			continue
 		}
 		if cr.All.Has(label) {
-			knownLabels = append(knownLabels, labelNode{node: tn, label: label, pos: i})
+			known = append(known, i)
 		} else {
-			candidates = append(candidates, labelNode{node: tn, label: label, pos: i})
+			candidates = append(candidates, i)
 		}
 	}
-	if len(knownLabels) == 0 {
+	scratch.known, scratch.cand = known, candidates
+	if len(known) == 0 {
 		return false
 	}
-	for _, ln := range knownLabels {
-		if p, ok := htmldom.PathBetweenFunc(eNode, ln.node, cfg.Step); ok {
-			norm := p.Normalize()
+	induced := scratch.induced[:0]
+	for _, i := range known {
+		if norm, str, ok := st.normPathAt(i, cfg.Step); ok {
 			induced = append(induced, norm)
-			cr.patternSet[norm.String()] = struct{}{}
+			cr.patternSet[str] = struct{}{}
 		}
 	}
+	scratch.induced = induced
 	if len(induced) == 0 {
 		return false
 	}
-	if !*counted {
+	if !st.counted {
 		cr.PagesUsed++
-		*counted = true
+		st.counted = true
 	}
-	cr.entityPaths[pathSignature(eNode, cfg.Step)] = struct{}{}
+	cr.entityPaths[pathSignature(st.eNode, cfg.Step)] = struct{}{}
 
 	grew := false
 	// Step 2: recognise known labels' values and new attribute labels.
-	emit := func(ln labelNode) {
-		value := valueAfter(texts, ln.pos)
+	emit := func(pos int) {
+		value := st.valueAt(pos)
 		if value == "" {
 			return
 		}
-		c := claim{entity: entity, attr: ln.label, value: value}
+		c := claim{entity: st.entity, attr: st.label[pos], value: value}
 		ev := claims[c]
 		if ev == nil {
 			ev = &claimEvidence{hosts: make(map[string]struct{})}
@@ -470,45 +586,47 @@ func extractPage(site Site, page Page, entity string, eNode *htmldom.Node, texts
 		if _, ok := ev.hosts[site.Host]; !ok {
 			ev.hosts[site.Host] = struct{}{}
 			ev.provs = append(ev.provs, rdf.Provenance{
-				Source: site.Host, Extractor: extract.ExtractorDOM, Document: page.URL,
+				Source: site.Host, Extractor: extract.ExtractorDOM, Document: st.page.URL,
 			})
 		}
 		ev.pages++
 	}
-	for _, ln := range knownLabels {
+	for _, i := range known {
+		label := st.label[i]
 		// A previously discovered attribute reappearing on another page or
 		// host is further evidence; keep its support growing.
-		if cr.Discovered.Has(ln.label) {
-			key := ln.label + "|" + site.Host + "|" + page.URL
+		if cr.Discovered.Has(label) {
+			key := seenKey{label: label, host: site.Host, url: st.page.URL}
 			if _, dup := seen[key]; !dup {
 				seen[key] = struct{}{}
-				cr.Discovered.Add(ln.label, site.Host)
-				cr.All.Add(ln.label, site.Host)
+				cr.Discovered.Add(label, site.Host)
+				cr.All.Add(label, site.Host)
 			}
 		}
-		emit(ln)
+		emit(i)
 	}
-	for _, ln := range candidates {
-		if !extract.ValidAttributeLabel(ln.label) {
+	for _, i := range candidates {
+		label := st.label[i]
+		if !extract.ValidAttributeLabel(label) {
 			continue
 		}
-		p, ok := htmldom.PathBetweenFunc(eNode, ln.node, cfg.Step)
+		p, ok := st.pathTo(i, cfg.Step)
 		if !ok {
 			continue
 		}
 		if bestSimilarity(p, induced) < cfg.SimilarityThreshold {
 			continue
 		}
-		key := ln.label + "|" + site.Host + "|" + page.URL
+		key := seenKey{label: label, host: site.Host, url: st.page.URL}
 		if _, dup := seen[key]; !dup {
 			seen[key] = struct{}{}
-			if !cr.All.Has(ln.label) {
+			if !cr.All.Has(label) {
 				grew = true
 			}
-			cr.All.Add(ln.label, site.Host)
-			cr.Discovered.Add(ln.label, site.Host)
+			cr.All.Add(label, site.Host)
+			cr.Discovered.Add(label, site.Host)
 		}
-		emit(ln)
+		emit(i)
 	}
 	return grew
 }
@@ -572,24 +690,37 @@ func valueAfter(texts []*htmldom.Node, pos int) string {
 	return ""
 }
 
-// buildStatements converts aggregated claims into confidence-scored
-// statements, one per contributing site.
-func buildStatements(claims map[claim]*claimEvidence, crit *confidence.Criterion) []rdf.Statement {
+// claimLess orders claims by (entity, attr, value) — the canonical
+// statement order.
+func claimLess(a, b claim) bool {
+	if a.entity != b.entity {
+		return a.entity < b.entity
+	}
+	if a.attr != b.attr {
+		return a.attr < b.attr
+	}
+	return a.value < b.value
+}
+
+// buildStatements converts one shard's aggregated claims into
+// confidence-scored statements in canonical claim order, one statement per
+// contributing site. The returned keys slice is aligned with the
+// statements (a claim's key repeats across its per-site statements) so the
+// cross-shard merge can interleave runs without re-deriving sort keys from
+// minted IRIs — IRI minting rewrites spaces, so IRI order and claim order
+// disagree.
+func buildStatements(claims map[claim]*claimEvidence, crit *confidence.Criterion) ([]rdf.Statement, []claim) {
 	keys := make([]claim, 0, len(claims))
 	for c := range claims {
 		keys = append(keys, c)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.entity != b.entity {
-			return a.entity < b.entity
-		}
-		if a.attr != b.attr {
-			return a.attr < b.attr
-		}
-		return a.value < b.value
-	})
-	var out []rdf.Statement
+	sort.Slice(keys, func(i, j int) bool { return claimLess(keys[i], keys[j]) })
+	n := 0
+	for _, ev := range claims {
+		n += len(ev.provs)
+	}
+	out := make([]rdf.Statement, 0, n)
+	outKeys := make([]claim, 0, n)
 	for _, c := range keys {
 		ev := claims[c]
 		conf := 0.5
@@ -600,7 +731,46 @@ func buildStatements(claims map[claim]*claimEvidence, crit *confidence.Criterion
 			out = append(out, rdf.S(
 				rdf.T(extract.EntityIRI(c.entity), extract.AttrIRI(c.attr), rdf.Literal(c.value)),
 				prov, conf))
+			outKeys = append(outKeys, c)
 		}
+	}
+	return out, outKeys
+}
+
+// mergeStatements interleaves the per-shard statement runs into the single
+// globally sorted claim order the serial implementation produced. Shards
+// partition entities by class, so claim keys never collide across runs and
+// the merge is a plain k-way interleave; equal-key statements (one claim's
+// several provenances) stay contiguous within their run.
+func mergeStatements(outs []shardOut) []rdf.Statement {
+	total := 0
+	for _, o := range outs {
+		total += len(o.stmts)
+	}
+	out := make([]rdf.Statement, 0, total)
+	heads := make([]int, len(outs))
+	for {
+		best := -1
+		for s := range outs {
+			if heads[s] >= len(outs[s].stmts) {
+				continue
+			}
+			if best < 0 || claimLess(outs[s].stmtKeys[heads[s]], outs[best].stmtKeys[heads[best]]) {
+				best = s
+			}
+		}
+		if best < 0 {
+			break
+		}
+		o := &outs[best]
+		h := heads[best]
+		k := o.stmtKeys[h]
+		j := h + 1
+		for j < len(o.stmts) && o.stmtKeys[j] == k {
+			j++
+		}
+		out = append(out, o.stmts[h:j]...)
+		heads[best] = j
 	}
 	return out
 }

@@ -270,3 +270,30 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestRunShardAllocationBound pins the shard extraction path's allocation
+// behaviour: per-page text, label, tag-path and value caches are built
+// once per page and shared across the fixpoint passes, so allocations per
+// page stay bounded instead of growing with MaxPasses × candidate-set
+// sweeps as the uncached implementation did.
+func TestRunShardAllocationBound(t *testing.T) {
+	_, sites, idx, seeds := setup(t)
+	cfg := DefaultConfig()
+	cfg.SimilarityThreshold = 0.9
+	cfg.MaxPasses = 3
+	cfg.Step = htmldom.QualifiedStep
+	crit := confidence.Default()
+	sh := shardByClass(sites)[0]
+	pages := 0
+	for _, s := range sh.sites {
+		pages += len(s.Pages)
+	}
+	allocs := testing.AllocsPerRun(10, func() { runShard(sh, idx, seeds, cfg, crit) })
+	// Currently ~2.7k allocations per page on this fixture (cache
+	// construction plus claim assembly); 4k leaves headroom while still
+	// tripping if a pass stops reusing the caches (each uncached pass
+	// re-derives every node's path and normalised text).
+	if limit := float64(4000 * pages); allocs > limit {
+		t.Errorf("runShard allocates %.0f times for %d pages, want <= %.0f", allocs, pages, limit)
+	}
+}

@@ -103,6 +103,14 @@ func (r *Result) Classes() []string {
 
 type claim struct{ entity, attr, value string }
 
+// docWork is one document plus its sentence segmentation and per-sentence
+// tokens, computed once and shared by both extraction phases.
+type docWork struct {
+	doc   *webgen.Document
+	sents []string
+	toks  [][]string
+}
+
 // matchEvent is one template match captured during the parallel map of
 // phase 2; entity == "" marks an unknown-entity candidate. Events replay
 // serially in document order.
@@ -130,15 +138,29 @@ func Extract(ctx context.Context, docs []*webgen.Document, idx *extract.EntityIn
 		res.PerClass[class] = &ClassResult{Class: class, All: s.Clone(), Discovered: extract.NewAttrSet()}
 	}
 
-	// Phase 1: learn templates from sentences containing a known entity and
-	// a seed attribute. Support counting is additive per document, so it is
-	// a true map-shuffle job; the attribute sets are only read here.
+	// Pre-pass: segment and tokenize every document exactly once. Both
+	// phases used to re-split the corpus (and phase 2 re-tokenized it);
+	// sharing the per-doc sentence and token slices halves that work and
+	// removes the duplicate allocations.
 	mrCfg := mapreduce.Config{Workers: max(cfg.Workers, 1), Obs: obs.Reg(ctx)}
+	works := mapreduce.Map(mrCfg, docs, func(doc *webgen.Document) docWork {
+		sents := SplitSentences(doc.Text)
+		toks := make([][]string, len(sents))
+		for i, s := range sents {
+			toks[i] = TokenizeSentence(s)
+		}
+		return docWork{doc: doc, sents: sents, toks: toks}
+	})
+
+	// Phase 1: learn templates from sentences containing a known entity and
+	// a seed attribute. Support counting is additive per document, so the
+	// per-doc abstraction maps in parallel and the counts aggregate
+	// serially in document order; the attribute sets are only read here.
 	entityNames := idx.Names()
 	templateSupport := map[string]int{}
-	seedSents := mapreduce.MapPhase(mrCfg, docs, func(doc *webgen.Document) []mapreduce.KV[int] {
-		var out []mapreduce.KV[int]
-		for _, sent := range SplitSentences(doc.Text) {
+	seedTmpls := mapreduce.Map(mrCfg, works, func(w docWork) []string {
+		var out []string
+		for _, sent := range w.sents {
 			e := findEntity(sent, entityNames)
 			if e == "" {
 				continue
@@ -153,13 +175,15 @@ func Extract(ctx context.Context, docs []*webgen.Document, idx *extract.EntityIn
 				continue
 			}
 			if tmpl, ok := abstractSentence(sent, e, attr); ok {
-				out = append(out, mapreduce.KV[int]{Key: tmpl, Value: 1})
+				out = append(out, tmpl)
 			}
 		}
 		return out
 	})
-	for _, g := range mapreduce.Shuffle(seedSents) {
-		templateSupport[g.Key] = len(g.Values)
+	for _, tmpls := range seedTmpls {
+		for _, tmpl := range tmpls {
+			templateSupport[tmpl]++
+		}
 	}
 	var templates []template
 	for tmpl, n := range templateSupport {
@@ -183,68 +207,14 @@ func Extract(ctx context.Context, docs []*webgen.Document, idx *extract.EntityIn
 	// the resulting events are replayed in document order — byte-identical
 	// to the serial pass. res.PerClass is read-only during mapping: only
 	// key existence is consulted, and keys are fixed at construction.
-	events := mapreduce.MapPhase(mrCfg, docs, func(doc *webgen.Document) []mapreduce.KV[matchEvent] {
-		var out []mapreduce.KV[matchEvent]
-		for _, sent := range SplitSentences(doc.Text) {
-			toks := TokenizeSentence(sent)
-			for _, tmpl := range templates {
-				b, ok := matchTemplate(tmpl, toks, idx, cfg)
-				if !ok {
-					continue
-				}
-				if b.entity == "" {
-					// Unknown-entity candidate (new entity creation).
-					if cfg.DiscoverEntities && b.rawEntity != "" {
-						out = append(out, mapreduce.KV[matchEvent]{Value: matchEvent{
-							class: doc.Class, rawEntity: b.rawEntity,
-							attr: b.attr, value: b.value, source: doc.Source, doc: doc.ID,
-						}})
-					}
-					continue
-				}
-				class, _ := idx.Class(b.entity)
-				if res.PerClass[class] == nil {
-					continue
-				}
-				out = append(out, mapreduce.KV[matchEvent]{Value: matchEvent{
-					class: class, entity: b.entity,
-					attr: b.attr, value: b.value, source: doc.Source, doc: doc.ID,
-				}})
-				break // one match per sentence
-			}
-		}
-		return out
+	known := func(class string) bool { return res.PerClass[class] != nil }
+	perDoc := mapreduce.Map(mrCfg, works, func(w docWork) []matchEvent {
+		return matchDoc(w, templates, idx, cfg, known)
 	})
 	claims := make(map[claim]*claimEvidence)
-	for _, kv := range events {
-		ev := kv.Value
-		if ev.entity == "" {
-			res.NewEntities[ev.rawEntity]++
-			res.NewEntityFacts = append(res.NewEntityFacts, extract.EntityFact{
-				Name: ev.rawEntity, Class: ev.class,
-				Attr: extract.NormalizeLabel(ev.attr), Value: ev.value,
-				Source: ev.source, Doc: ev.doc,
-			})
-			continue
-		}
-		cr := res.PerClass[ev.class]
-		attr := extract.NormalizeLabel(ev.attr)
-		if !cr.All.Has(attr) {
-			cr.Discovered.Add(attr, ev.source)
-			cr.All.Add(attr, ev.source)
-		}
-		c := claim{entity: ev.entity, attr: attr, value: ev.value}
-		cev := claims[c]
-		if cev == nil {
-			cev = &claimEvidence{sources: make(map[string]struct{})}
-			claims[c] = cev
-		}
-		cev.count++
-		if _, dup := cev.sources[ev.source]; !dup {
-			cev.sources[ev.source] = struct{}{}
-			cev.provs = append(cev.provs, rdf.Provenance{
-				Source: ev.source, Extractor: extract.ExtractorText, Document: ev.doc,
-			})
+	for _, events := range perDoc {
+		for _, ev := range events {
+			foldEvent(res, claims, ev)
 		}
 	}
 	if crit != nil {
@@ -258,6 +228,80 @@ func Extract(ctx context.Context, docs []*webgen.Document, idx *extract.EntityIn
 	reg.Counter("akb_textx_statements_total").Add(int64(len(res.Statements)))
 	reg.Counter("akb_textx_patterns_total").Add(int64(len(res.Patterns)))
 	return res
+}
+
+// matchDoc applies the learned templates to one document's tokenized
+// sentences and returns its match events in sentence order. known reports
+// whether a class has a result bucket (fixed at construction, so it is
+// safe to consult from worker goroutines). Factored out of Extract so the
+// AllocsPerRun regression test can bound the per-doc matching path.
+func matchDoc(w docWork, templates []template, idx *extract.EntityIndex, cfg Config, known func(class string) bool) []matchEvent {
+	var out []matchEvent
+	var m matcher
+	m.idx = idx
+	m.maxSlot = cfg.MaxSlotTokens
+	m.discover = cfg.DiscoverEntities
+	for _, toks := range w.toks {
+		for _, tmpl := range templates {
+			b, ok := m.match(tmpl, toks)
+			if !ok {
+				continue
+			}
+			if b.entity == "" {
+				// Unknown-entity candidate (new entity creation).
+				if cfg.DiscoverEntities && b.rawEntity != "" {
+					out = append(out, matchEvent{
+						class: w.doc.Class, rawEntity: b.rawEntity,
+						attr: b.attr, value: b.value, source: w.doc.Source, doc: w.doc.ID,
+					})
+				}
+				continue
+			}
+			class, _ := idx.Class(b.entity)
+			if !known(class) {
+				continue
+			}
+			out = append(out, matchEvent{
+				class: class, entity: b.entity,
+				attr: b.attr, value: b.value, source: w.doc.Source, doc: w.doc.ID,
+			})
+			break // one match per sentence
+		}
+	}
+	return out
+}
+
+// foldEvent replays one match event into the result and claim state, in
+// document order — the serial aggregation step of phase 2.
+func foldEvent(res *Result, claims map[claim]*claimEvidence, ev matchEvent) {
+	if ev.entity == "" {
+		res.NewEntities[ev.rawEntity]++
+		res.NewEntityFacts = append(res.NewEntityFacts, extract.EntityFact{
+			Name: ev.rawEntity, Class: ev.class,
+			Attr: extract.NormalizeLabel(ev.attr), Value: ev.value,
+			Source: ev.source, Doc: ev.doc,
+		})
+		return
+	}
+	cr := res.PerClass[ev.class]
+	attr := extract.NormalizeLabel(ev.attr)
+	if !cr.All.Has(attr) {
+		cr.Discovered.Add(attr, ev.source)
+		cr.All.Add(attr, ev.source)
+	}
+	c := claim{entity: ev.entity, attr: attr, value: ev.value}
+	cev := claims[c]
+	if cev == nil {
+		cev = &claimEvidence{sources: make(map[string]struct{})}
+		claims[c] = cev
+	}
+	cev.count++
+	if _, dup := cev.sources[ev.source]; !dup {
+		cev.sources[ev.source] = struct{}{}
+		cev.provs = append(cev.provs, rdf.Provenance{
+			Source: ev.source, Extractor: extract.ExtractorText, Document: ev.doc,
+		})
+	}
 }
 
 // SplitSentences segments text into sentences on ". " boundaries, keeping
@@ -402,77 +446,112 @@ type binding struct {
 	value     string
 }
 
-// matchTemplate aligns the template against sentence tokens with
-// backtracking. Slots capture 1..MaxSlotTokens tokens; literals compare
-// case-insensitively. The ⟨E⟩ binding must resolve against the entity index
-// for a full match; otherwise the best-effort raw binding is returned with
-// ok=true and entity=="" only when every other constraint holds.
-func matchTemplate(tmpl template, toks []string, idx *extract.EntityIndex, cfg Config) (binding, bool) {
-	var out binding
-	var unknown binding
-	var haveUnknown bool
+// matcher aligns templates against sentence tokens with backtracking. One
+// matcher is reused across every (sentence, template) pair of a document:
+// the slot bindings live in three fixed fields (sub-slices of the sentence
+// tokens) instead of the per-call map[string][]string the first
+// implementation allocated, so the matching hot path only allocates when a
+// candidate binding actually completes.
+type matcher struct {
+	idx      *extract.EntityIndex
+	maxSlot  int
+	discover bool
 
-	var rec func(ti, si int, b map[string][]string) bool
-	rec = func(ti, si int, b map[string][]string) bool {
-		if ti == len(tmpl.tokens) {
-			if si != len(toks) {
-				return false
-			}
-			cand := binding{
-				rawEntity: strings.Join(b[slotE], " "),
-				attr:      strings.Join(b[slotA], " "),
-				value:     strings.Join(b[slotV], " "),
-			}
-			if cand.attr == "" || cand.value == "" || cand.rawEntity == "" {
-				return false
-			}
-			// Value spans never contain glue words; rejecting them forces
-			// the backtracker to extend the attribute slot instead (e.g.
-			// "country of origin" rather than value "origin of X").
-			for _, vt := range b[slotV] {
-				if glueWords[strings.ToLower(vt)] {
-					return false
-				}
-			}
-			if !extract.ValidAttributeLabel(extract.NormalizeLabel(cand.attr)) {
-				return false
-			}
-			if _, known := idx.Class(cand.rawEntity); known {
-				cand.entity = cand.rawEntity
-				out = cand
-				return true
-			}
-			if cfg.DiscoverEntities && isCapitalizedSpan(cand.rawEntity) && !haveUnknown {
-				unknown = cand
-				haveUnknown = true
-			}
-			return false
-		}
-		tok := tmpl.tokens[ti]
-		switch tok {
-		case slotE, slotA, slotV:
-			for n := 1; n <= cfg.MaxSlotTokens && si+n <= len(toks); n++ {
-				b[tok] = toks[si : si+n]
-				if rec(ti+1, si+n, b) {
-					return true
-				}
-			}
-			delete(b, tok)
-			return false
-		default:
-			if si >= len(toks) || !strings.EqualFold(toks[si], tok) {
-				return false
-			}
-			return rec(ti+1, si+1, b)
-		}
+	tokens  []string // current template tokens
+	toks    []string // current sentence tokens
+	e, a, v []string // slot bindings (sub-slices of toks)
+
+	out, unknown binding
+	haveUnknown  bool
+}
+
+// match aligns one template against one sentence. Slots capture
+// 1..maxSlot tokens; literals compare case-insensitively. The ⟨E⟩ binding
+// must resolve against the entity index for a full match; otherwise the
+// best-effort raw binding is returned with ok=true and entity=="" only
+// when every other constraint holds.
+func (m *matcher) match(tmpl template, toks []string) (binding, bool) {
+	m.tokens, m.toks = tmpl.tokens, toks
+	m.e, m.a, m.v = nil, nil, nil
+	m.out, m.unknown = binding{}, binding{}
+	m.haveUnknown = false
+	if m.rec(0, 0) {
+		return m.out, true
 	}
-	if rec(0, 0, map[string][]string{}) {
-		return out, true
-	}
-	if haveUnknown {
-		return unknown, true
+	if m.haveUnknown {
+		return m.unknown, true
 	}
 	return binding{}, false
+}
+
+// matchTemplate matches one template against one sentence with a fresh
+// matcher; matchDoc reuses a matcher instead.
+func matchTemplate(tmpl template, toks []string, idx *extract.EntityIndex, cfg Config) (binding, bool) {
+	m := matcher{idx: idx, maxSlot: cfg.MaxSlotTokens, discover: cfg.DiscoverEntities}
+	return m.match(tmpl, toks)
+}
+
+func (m *matcher) rec(ti, si int) bool {
+	if ti == len(m.tokens) {
+		if si != len(m.toks) {
+			return false
+		}
+		if len(m.e) == 0 || len(m.a) == 0 || len(m.v) == 0 {
+			return false
+		}
+		// Value spans never contain glue words; rejecting them forces
+		// the backtracker to extend the attribute slot instead (e.g.
+		// "country of origin" rather than value "origin of X").
+		for _, vt := range m.v {
+			if glueWords[strings.ToLower(vt)] {
+				return false
+			}
+		}
+		cand := binding{
+			rawEntity: strings.Join(m.e, " "),
+			attr:      strings.Join(m.a, " "),
+			value:     strings.Join(m.v, " "),
+		}
+		if !extract.ValidAttributeLabel(extract.NormalizeLabel(cand.attr)) {
+			return false
+		}
+		if _, known := m.idx.Class(cand.rawEntity); known {
+			cand.entity = cand.rawEntity
+			m.out = cand
+			return true
+		}
+		if m.discover && isCapitalizedSpan(cand.rawEntity) && !m.haveUnknown {
+			m.unknown = cand
+			m.haveUnknown = true
+		}
+		return false
+	}
+	tok := m.tokens[ti]
+	switch tok {
+	case slotE, slotA, slotV:
+		var slot *[]string
+		switch tok {
+		case slotE:
+			slot = &m.e
+		case slotA:
+			slot = &m.a
+		default:
+			slot = &m.v
+		}
+		for n := 1; n <= m.maxSlot && si+n <= len(m.toks); n++ {
+			*slot = m.toks[si : si+n]
+			if m.rec(ti+1, si+n) {
+				return true
+			}
+		}
+		*slot = nil
+		return false
+	default:
+		if si >= len(m.toks) || !strings.EqualFold(m.toks[si], tok) {
+			return false
+		}
+		return m.rec(ti+1, si+1)
+	}
 }
 
 // isCapitalizedSpan accepts proper-noun spans: every word starts with an

@@ -284,3 +284,36 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestMatchDocAllocationBound pins the per-document matching path's
+// allocation behaviour: the matcher's slot buffers are reused across
+// every (sentence, template) pair, so allocations are dominated by the
+// accepted matches' joined strings and the event slice — a small constant
+// per sentence — instead of the per-call binding maps the first
+// implementation paid (one map plus per-slot slices for every pair).
+func TestMatchDocAllocationBound(t *testing.T) {
+	_, docs, idx, seeds := setup(t)
+	cfg := DefaultConfig()
+	res := Extract(context.Background(), docs, idx, seeds, cfg, confidence.Default())
+	if len(res.Patterns) == 0 {
+		t.Fatal("fixture learned no patterns")
+	}
+	var templates []template
+	for _, p := range res.Patterns {
+		templates = append(templates, parseTemplate(p))
+	}
+	cfg.MinPatternSupport = 2
+	cfg.MaxSlotTokens = 6
+	known := func(string) bool { return true }
+	w := docWork{doc: docs[0], sents: SplitSentences(docs[0].Text)}
+	for _, s := range w.sents {
+		w.toks = append(w.toks, TokenizeSentence(s))
+	}
+	allocs := testing.AllocsPerRun(50, func() { matchDoc(w, templates, idx, cfg, known) })
+	// Currently ~4.5 allocations per sentence on this fixture; 8 leaves
+	// headroom without letting per-pair allocations back in (those cost
+	// ≥ len(templates) per sentence on their own).
+	if limit := float64(8 * len(w.sents)); allocs > limit {
+		t.Errorf("matchDoc allocates %.0f times for %d sentences, want <= %.0f", allocs, len(w.sents), limit)
+	}
+}

@@ -20,7 +20,11 @@ import (
 //
 // Inference is EM: the E-step computes per-(item, value) posteriors on the
 // map-reduce executor; the M-step re-estimates source sensitivity and
-// specificity from the posteriors.
+// specificity from the posteriors. The loop is allocation-free: sources
+// are interned to dense indices, each item's (value × covering-source)
+// claim matrix is precomputed once, and posteriors are written into
+// per-item buffers reused across iterations — the per-iteration maps and
+// the identity-reducer Shuffle the first implementation paid are gone.
 type MultiTruth struct {
 	// Prior is the prior probability a claimed value is true (default 0.5).
 	Prior float64
@@ -57,6 +61,26 @@ type sourceStats struct {
 	spec float64
 }
 
+// mtValue is one claimed value's rows of the per-item claim matrix,
+// aligned with the item's covering-source list.
+type mtValue struct {
+	claimed []bool
+	conf    []float64
+}
+
+// mtItem is the precomputed EM state for one item.
+type mtItem struct {
+	// covering lists the indices of sources asserting any value of the
+	// item, ascending. SourceNames is sorted, so ascending index order is
+	// exactly the sorted-name order the original string-keyed loop used —
+	// float accumulation order is unchanged.
+	covering []int
+	values   []mtValue
+	// probs holds the current posterior per value, overwritten each
+	// iteration.
+	probs []float64
+}
+
 // Fuse implements Method.
 func (m *MultiTruth) Fuse(c *Claims) *Result {
 	prior := m.Prior
@@ -71,69 +95,114 @@ func (m *MultiTruth) Fuse(c *Claims) *Result {
 	if iters <= 0 {
 		iters = 15
 	}
-	stats := make(map[string]sourceStats, len(c.SourceNames))
-	for _, s := range c.SourceNames {
-		stats[s] = sourceStats{sens: 0.8, spec: 0.9}
+	nsrc := len(c.SourceNames)
+	srcIdx := make(map[string]int, nsrc)
+	for i, s := range c.SourceNames {
+		srcIdx[s] = i
+	}
+	stats := make([]sourceStats, nsrc)
+	for i := range stats {
+		stats[i] = sourceStats{sens: 0.8, spec: 0.9}
+	}
+	var discount []float64
+	if m.Discount != nil {
+		discount = make([]float64, nsrc)
+		for i, s := range c.SourceNames {
+			discount[i] = m.Discount.Weight(s)
+		}
 	}
 
-	// Precompute, per item, which sources cover it (assert any value).
-	covering := make([][]string, len(c.Items))
+	// Precompute every item's covering list and claim matrix once.
+	items := make([]mtItem, len(c.Items))
+	seen := make([]bool, nsrc)
+	pos := make([]int, nsrc) // covering position of each source index
 	for i, it := range c.Items {
-		set := map[string]struct{}{}
+		mi := &items[i]
 		for _, vc := range it.Values {
 			for _, sc := range vc.Sources {
-				set[sc.Source] = struct{}{}
-			}
-		}
-		for s := range set {
-			covering[i] = append(covering[i], s)
-		}
-		// Deterministic order: float accumulation in eStep must not depend
-		// on map iteration, or near-tie decisions flip between runs.
-		sort.Strings(covering[i])
-	}
-	itemIdx := make(map[string]int, len(c.Items))
-	for i, it := range c.Items {
-		itemIdx[it.Key] = i
-	}
-
-	type itemPost struct {
-		item  *Item
-		probs map[string]float64
-	}
-	var lastE []itemPost
-
-	for iter := 0; iter < iters; iter++ {
-		lastE = mapreduce.Run(mapreduce.Config{Workers: m.Workers, Obs: m.Obs}, c.Items,
-			func(it *Item) []mapreduce.KV[itemPost] {
-				probs := m.eStep(it, covering[itemIdx[it.Key]], stats, prior)
-				return []mapreduce.KV[itemPost]{{Key: it.Key, Value: itemPost{item: it, probs: probs}}}
-			},
-			func(key string, vs []itemPost) []itemPost { return vs })
-
-		// M-step.
-		type acc struct{ tpSens, totSens, tnSpec, totSpec float64 }
-		accs := make(map[string]*acc, len(stats))
-		for s := range stats {
-			accs[s] = &acc{}
-		}
-		for i, ip := range lastE {
-			asserted := make(map[string]map[string]struct{}) // source -> value keys
-			for _, vc := range ip.item.Values {
-				for _, sc := range vc.Sources {
-					vs := asserted[sc.Source]
-					if vs == nil {
-						vs = map[string]struct{}{}
-						asserted[sc.Source] = vs
-					}
-					vs[vc.Value.Key()] = struct{}{}
+				if si := srcIdx[sc.Source]; !seen[si] {
+					seen[si] = true
+					mi.covering = append(mi.covering, si)
 				}
 			}
-			for _, src := range covering[i] {
-				a := accs[src]
-				for _, vc := range ip.item.Values {
-					p := ip.probs[vc.Value.Key()]
-					_, claims := asserted[src][vc.Value.Key()]
+		}
+		sort.Ints(mi.covering)
+		for ci, si := range mi.covering {
+			seen[si] = false
+			pos[si] = ci
+		}
+		nc := len(mi.covering)
+		mi.values = make([]mtValue, len(it.Values))
+		mi.probs = make([]float64, len(it.Values))
+		for vi, vc := range it.Values {
+			v := &mi.values[vi]
+			v.claimed = make([]bool, nc)
+			v.conf = make([]float64, nc)
+			for _, sc := range vc.Sources {
+				ci := pos[srcIdx[sc.Source]]
+				v.claimed[ci] = true
+				v.conf[ci] = sc.Confidence
+			}
+		}
+	}
+
+	cfg := mapreduce.Config{Workers: m.Workers, Obs: m.Obs}
+	logPrior := math.Log(prior / (1 - prior))
+	type acc struct{ tpSens, totSens, tnSpec, totSpec float64 }
+	accs := make([]acc, nsrc)
+	for iter := 0; iter < iters; iter++ {
+		// E-step: items are independent, so per-item posteriors can be
+		// computed in parallel into their preallocated buffers.
+		mapreduce.ForEach(cfg, len(items), func(i int) {
+			mi := &items[i]
+			for vi := range mi.values {
+				v := &mi.values[vi]
+				logOdds := logPrior
+				for ci, si := range mi.covering {
+					st := stats[si]
+					var ratio float64
+					conf := 1.0
+					claims := v.claimed[ci]
+					if claims {
+						ratio = st.sens / (1 - st.spec)
+						conf = v.conf[ci]
+					} else {
+						ratio = (1 - st.sens) / st.spec
+					}
+					w := 1.0
+					if m.Weighted && claims {
+						if conf <= 0 {
+							conf = 0.5
+						}
+						// Map confidence into [0.5, 1]: low-confidence claims
+						// are dampened but not annihilated. Using raw
+						// confidence as the exponent would bias fusion toward
+						// rejection, because assertions would count less than
+						// the full-weight silent negatives of non-claiming
+						// sources.
+						w = 0.5 + conf/2
+					}
+					if discount != nil {
+						w *= discount[si]
+					}
+					logOdds += w * math.Log(ratio)
+				}
+				mi.probs[vi] = 1 / (1 + math.Exp(-logOdds))
+			}
+		})
+
+		// M-step: serial, in item order then covering order then value
+		// order — the same accumulation order at any parallelism.
+		for i := range accs {
+			accs[i] = acc{}
+		}
+		for i := range items {
+			mi := &items[i]
+			for ci, si := range mi.covering {
+				a := &accs[si]
+				for vi := range mi.values {
+					p := mi.probs[vi]
+					claims := mi.values[vi].claimed[ci]
 					// Sensitivity: of true values, how many does src assert?
 					a.totSens += p
 					if claims {
@@ -147,89 +216,53 @@ func (m *MultiTruth) Fuse(c *Claims) *Result {
 				}
 			}
 		}
-		for s, a := range accs {
-			st := stats[s]
+		for si := range accs {
+			a := &accs[si]
+			st := &stats[si]
 			if a.totSens > 0 {
 				st.sens = clampRate(a.tpSens / a.totSens)
 			}
 			if a.totSpec > 0 {
 				st.spec = clampRate(a.tnSpec / a.totSpec)
 			}
-			stats[s] = st
 		}
 	}
 
 	res := &Result{
 		Method:        m.Name(),
 		Decisions:     make(map[string]*Decision, len(c.Items)),
-		SourceQuality: make(map[string]float64, len(stats)),
+		SourceQuality: make(map[string]float64, nsrc),
 	}
-	for s, st := range stats {
-		res.SourceQuality[s] = st.sens
+	for si, s := range c.SourceNames {
+		res.SourceQuality[s] = stats[si].sens
 	}
-	for _, ip := range lastE {
-		d := &Decision{Item: ip.item, Belief: ip.probs}
-		for _, vc := range ip.item.Values {
-			if ip.probs[vc.Value.Key()] >= thresh {
+	for i, it := range c.Items {
+		mi := &items[i]
+		belief := make(map[string]float64, len(it.Values))
+		d := &Decision{Item: it, Belief: belief}
+		for vi, vc := range it.Values {
+			p := mi.probs[vi]
+			belief[vc.Value.Key()] = p
+			if p >= thresh {
 				d.Truths = append(d.Truths, vc.Value)
 			}
 		}
 		// Guarantee at least one truth per claimed item: take the argmax
 		// when nothing clears the threshold.
-		if len(d.Truths) == 0 && len(ip.item.Values) > 0 {
+		if len(d.Truths) == 0 && len(it.Values) > 0 {
 			var best rdf.Term
 			bestP := -1.0
-			for _, vc := range ip.item.Values {
-				if p := ip.probs[vc.Value.Key()]; p > bestP || (p == bestP && vc.Value.Compare(best) < 0) {
+			for vi, vc := range it.Values {
+				if p := mi.probs[vi]; p > bestP || (p == bestP && vc.Value.Compare(best) < 0) {
 					best, bestP = vc.Value, p
 				}
 			}
 			d.Truths = []rdf.Term{best}
 		}
 		d.Truths = sortedTruths(d.Truths)
-		res.Decisions[ip.item.Key] = d
+		res.Decisions[it.Key] = d
 	}
 	return res
-}
-
-func (m *MultiTruth) eStep(it *Item, covering []string, stats map[string]sourceStats, prior float64) map[string]float64 {
-	probs := make(map[string]float64, len(it.Values))
-	for _, vc := range it.Values {
-		asserters := make(map[string]float64, len(vc.Sources))
-		for _, sc := range vc.Sources {
-			asserters[sc.Source] = sc.Confidence
-		}
-		logOdds := math.Log(prior / (1 - prior))
-		for _, src := range covering {
-			st := stats[src]
-			var ratio float64
-			conf, claims := asserters[src]
-			if claims {
-				ratio = st.sens / (1 - st.spec)
-			} else {
-				ratio = (1 - st.sens) / st.spec
-				conf = 1
-			}
-			w := 1.0
-			if m.Weighted && claims {
-				if conf <= 0 {
-					conf = 0.5
-				}
-				// Map confidence into [0.5, 1]: low-confidence claims are
-				// dampened but not annihilated. Using raw confidence as the
-				// exponent would bias fusion toward rejection, because
-				// assertions would count less than the full-weight silent
-				// negatives of non-claiming sources.
-				w = 0.5 + conf/2
-			}
-			if m.Discount != nil {
-				w *= m.Discount.Weight(src)
-			}
-			logOdds += w * math.Log(ratio)
-		}
-		probs[vc.Value.Key()] = 1 / (1 + math.Exp(-logOdds))
-	}
-	return probs
 }
 
 func clampRate(r float64) float64 {

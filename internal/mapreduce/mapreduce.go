@@ -5,6 +5,13 @@
 // without a cluster. Mapping runs in parallel across workers; the shuffle
 // groups by key; reduction runs in parallel but output order is always the
 // sorted key order, so results are reproducible.
+//
+// Work is dispatched in contiguous input chunks of roughly
+// len(inputs)/(workers*chunksPerWorker) items rather than one item at a
+// time: per-item dispatch cost (channel hand-off, clock reads, histogram
+// locks) used to exceed the per-item work itself, which is how the
+// parallel pipeline lost to serial execution. Outputs are always written
+// by input index, so chunking never changes result order.
 package mapreduce
 
 import (
@@ -65,9 +72,10 @@ type Config struct {
 	// defaults to GOMAXPROCS.
 	Workers int
 	// Obs, when set, records executor telemetry into the registry: worker
-	// fanout per phase, per-task latency histograms and queue wait (time a
-	// task spends between submission and worker pickup). nil disables
-	// instrumentation with zero overhead on the hot path.
+	// fanout per phase, per-chunk latency histograms, queue wait (time a
+	// chunk spends between submission and worker pickup) and the number of
+	// items behind those chunks. nil disables instrumentation with zero
+	// overhead on the hot path.
 	Obs *obs.Registry
 }
 
@@ -78,13 +86,21 @@ const (
 )
 
 func metricTasks(phase string) string       { return "akb_mapreduce_" + phase + "_tasks_total" }
+func metricItems(phase string) string       { return "akb_mapreduce_" + phase + "_items_total" }
 func metricTaskSeconds(phase string) string { return "akb_mapreduce_" + phase + "_task_seconds" }
 
+// chunksPerWorker is the dispatch granularity: each phase is split into
+// about workers*chunksPerWorker contiguous chunks. Coarse enough that
+// hand-off cost amortises across many items, fine enough that an uneven
+// chunk cannot leave workers idle for a whole phase tail.
+const chunksPerWorker = 4
+
 // phaseObs carries the per-phase instruments, resolved once per phase so
-// workers do not hit the registry maps per task. A nil *phaseObs records
+// workers do not hit the registry maps per chunk. A nil *phaseObs records
 // nothing.
 type phaseObs struct {
 	tasks *obs.Counter
+	items *obs.Counter
 	lat   *obs.Histogram
 	wait  *obs.Histogram
 }
@@ -96,13 +112,14 @@ func newPhaseObs(reg *obs.Registry, phase string, fanout int) *phaseObs {
 	reg.Histogram(metricFanout, obs.FanoutBuckets()).Observe(float64(fanout))
 	return &phaseObs{
 		tasks: reg.Counter(metricTasks(phase)),
-		lat:   reg.Histogram(metricTaskSeconds(phase), nil),
-		wait:  reg.Histogram(metricQueueWait, nil),
+		items: reg.Counter(metricItems(phase)),
+		lat:   reg.Histogram(metricTaskSeconds(phase), obs.TaskLatencyBuckets()),
+		wait:  reg.Histogram(metricQueueWait, obs.TaskLatencyBuckets()),
 	}
 }
 
-// run times one task when instrumentation is on; otherwise it just runs it.
-func (po *phaseObs) run(enqueued time.Time, fn func()) {
+// run times one chunk when instrumentation is on; otherwise it just runs it.
+func (po *phaseObs) run(enqueued time.Time, items int, fn func()) {
 	if po == nil {
 		fn()
 		return
@@ -112,6 +129,7 @@ func (po *phaseObs) run(enqueued time.Time, fn func()) {
 	fn()
 	po.lat.Observe(time.Since(start).Seconds())
 	po.tasks.Inc()
+	po.items.Add(int64(items))
 }
 
 func (c Config) workers() int {
@@ -119,6 +137,104 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// task is one contiguous chunk of input indices [lo, hi) handed to a
+// worker; enqueued is set only when the phase is instrumented, so the
+// uninstrumented hot path never reads the clock.
+type task struct {
+	lo, hi   int
+	enqueued time.Time
+}
+
+// dispatch runs item(i) for every i in [0, n), grouped into contiguous
+// chunks. Chunks execute in parallel across min(cfg.Workers, n) workers;
+// with one worker they run inline on the caller's goroutine (no
+// goroutines, panics propagate synchronously). item is always invoked with
+// ascending indices within a chunk, and chunk outputs must be written by
+// index, so results are identical at any worker count.
+//
+// Workers are panic-safe: if item panics, in-flight chunks stop at the
+// next item boundary, queued chunks are drained without working, and the
+// first captured panic is re-raised on the caller's goroutine as a *Panic.
+func dispatch(cfg Config, phase string, n int, item func(i int)) {
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	po := newPhaseObs(cfg.Obs, phase, w)
+	if w <= 1 {
+		if po == nil {
+			for i := 0; i < n; i++ {
+				item(i)
+			}
+			return
+		}
+		size := chunkSize(n, 1)
+		for lo := 0; lo < n; lo += size {
+			hi := min(lo+size, n)
+			po.run(time.Now(), hi-lo, func() {
+				for i := lo; i < hi; i++ {
+					item(i)
+				}
+			})
+		}
+		return
+	}
+	size := chunkSize(n, w)
+	nchunks := (n + size - 1) / size
+	var (
+		wg     sync.WaitGroup
+		once   sync.Once
+		failed atomic.Bool
+		caught *Panic
+	)
+	// The channel is buffered to hold every chunk: submission never blocks
+	// and needs no extra goroutine, and queue wait measures real pickup
+	// delay rather than producer back-pressure.
+	ch := make(chan task, nchunks)
+	for lo := 0; lo < n; lo += size {
+		t := task{lo: lo, hi: min(lo+size, n)}
+		if po != nil {
+			t.enqueued = time.Now()
+		}
+		ch <- t
+	}
+	close(ch)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range ch {
+				if failed.Load() {
+					continue // a sibling panicked: drain without working
+				}
+				po.run(t.enqueued, t.hi-t.lo, func() {
+					capture(&once, &failed, &caught, func() {
+						for i := t.lo; i < t.hi; i++ {
+							if failed.Load() {
+								return // stop promptly mid-chunk
+							}
+							item(i)
+						}
+					})
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if caught != nil {
+		panic(caught)
+	}
+}
+
+// chunkSize is the per-chunk item count for n items on w workers.
+func chunkSize(n, w int) int {
+	size := n / (w * chunksPerWorker)
+	if size < 1 {
+		return 1
+	}
+	return size
 }
 
 // Run executes a map-shuffle-reduce job: mapper is applied to every input,
@@ -136,52 +252,28 @@ func Run[I, V, O any](cfg Config, inputs []I, mapper func(I) []KV[V], reducer fu
 // MapPhase applies mapper to every input in parallel, preserving input
 // order in the concatenated output.
 func MapPhase[I, V any](cfg Config, inputs []I, mapper func(I) []KV[V]) []KV[V] {
-	w := cfg.workers()
-	if w > len(inputs) {
-		w = len(inputs)
-	}
-	po := newPhaseObs(cfg.Obs, "map", w)
-	if w <= 1 {
-		var out []KV[V]
-		for _, in := range inputs {
-			if po == nil {
-				out = append(out, mapper(in)...)
-				continue
-			}
-			in := in
-			po.run(time.Now(), func() { out = append(out, mapper(in)...) })
-		}
-		return out
-	}
 	results := make([][]KV[V], len(inputs))
-	var (
-		wg     sync.WaitGroup
-		once   sync.Once
-		failed atomic.Bool
-		caught *Panic
-	)
-	ch := make(chan task)
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range ch {
-				if failed.Load() {
-					continue // a sibling panicked: drain without working
-				}
-				i := t.index
-				po.run(t.enqueued, func() {
-					capture(&once, &failed, &caught, func() { results[i] = mapper(inputs[i]) })
-				})
-			}
-		}()
-	}
-	submit(ch, len(inputs), po != nil, &failed)
-	wg.Wait()
-	if caught != nil {
-		panic(caught)
-	}
+	dispatch(cfg, "map", len(inputs), func(i int) { results[i] = mapper(inputs[i]) })
 	return concat(results)
+}
+
+// Map applies fn to every input in parallel and returns the outputs
+// aligned with the inputs. Unlike MapPhase it is strictly one-to-one: no
+// per-item KV slices exist, the only allocation is the output slice
+// itself. Use it for jobs whose "reduce" would be the identity — running
+// those through Run paid a full Shuffle for nothing.
+func Map[I, O any](cfg Config, inputs []I, fn func(I) O) []O {
+	out := make([]O, len(inputs))
+	dispatch(cfg, "map", len(inputs), func(i int) { out[i] = fn(inputs[i]) })
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n) in parallel, allocating
+// nothing. Callers write results into pre-allocated state indexed by i —
+// the shape iterative jobs (like the fusion EM loop) want, where output
+// buffers are reused across rounds.
+func ForEach(cfg Config, n int, fn func(i int)) {
+	dispatch(cfg, "map", n, fn)
 }
 
 // concat flattens per-input result slices into one exactly-sized slice:
@@ -197,29 +289,6 @@ func concat[T any](results [][]T) []T {
 		out = append(out, r...)
 	}
 	return out
-}
-
-// task is one unit handed to a worker; enqueued is set only when the phase
-// is instrumented, so the uninstrumented hot path never reads the clock.
-type task struct {
-	index    int
-	enqueued time.Time
-}
-
-// submit feeds n task indices to the workers, stopping early once a worker
-// panicked.
-func submit(ch chan<- task, n int, timed bool, failed *atomic.Bool) {
-	for i := 0; i < n; i++ {
-		if failed.Load() {
-			break
-		}
-		t := task{index: i}
-		if timed {
-			t.enqueued = time.Now()
-		}
-		ch <- t
-	}
-	close(ch)
 }
 
 // Group is one shuffled key group.
@@ -264,50 +333,7 @@ func Shuffle[V any](pairs []KV[V]) []Group[V] {
 // ReducePhase applies reducer to each group in parallel; the concatenated
 // output follows the groups' (sorted-key) order.
 func ReducePhase[V, O any](cfg Config, groups []Group[V], reducer func(key string, values []V) []O) []O {
-	w := cfg.workers()
-	if w > len(groups) {
-		w = len(groups)
-	}
-	po := newPhaseObs(cfg.Obs, "reduce", w)
-	if w <= 1 {
-		var out []O
-		for _, g := range groups {
-			if po == nil {
-				out = append(out, reducer(g.Key, g.Values)...)
-				continue
-			}
-			g := g
-			po.run(time.Now(), func() { out = append(out, reducer(g.Key, g.Values)...) })
-		}
-		return out
-	}
 	results := make([][]O, len(groups))
-	var (
-		wg     sync.WaitGroup
-		once   sync.Once
-		failed atomic.Bool
-		caught *Panic
-	)
-	ch := make(chan task)
-	for g := 0; g < w; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range ch {
-				if failed.Load() {
-					continue // a sibling panicked: drain without working
-				}
-				i := t.index
-				po.run(t.enqueued, func() {
-					capture(&once, &failed, &caught, func() { results[i] = reducer(groups[i].Key, groups[i].Values) })
-				})
-			}
-		}()
-	}
-	submit(ch, len(groups), po != nil, &failed)
-	wg.Wait()
-	if caught != nil {
-		panic(caught)
-	}
+	dispatch(cfg, "reduce", len(groups), func(i int) { results[i] = reducer(groups[i].Key, groups[i].Values) })
 	return concat(results)
 }

@@ -291,3 +291,42 @@ func TestShuffleValuesCapped(t *testing.T) {
 		t.Errorf("append to group a overwrote group b: %v", groups[1].Values)
 	}
 }
+
+// TestForEachSerialAllocationFree pins the serial fast path: an
+// uninstrumented single-worker ForEach is a bare loop with no channel,
+// goroutine, or per-item allocations.
+func TestForEachSerialAllocationFree(t *testing.T) {
+	sum := 0
+	body := func(i int) { sum += i } // hoisted so the closure itself isn't counted
+	allocs := testing.AllocsPerRun(20, func() {
+		ForEach(Config{Workers: 1}, 1024, body)
+	})
+	if allocs != 0 {
+		t.Errorf("serial ForEach allocates %.0f times, want 0", allocs)
+	}
+}
+
+// TestMapAllocationBound pins Map's allocation behaviour: one output
+// slice plus per-chunk (not per-item) dispatch overhead.
+func TestMapAllocationBound(t *testing.T) {
+	inputs := make([]int, 4096)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	serial := testing.AllocsPerRun(20, func() {
+		Map(Config{Workers: 1}, inputs, func(i int) int { return i * 2 })
+	})
+	// The output slice plus the escaping per-item closure handed to
+	// dispatch.
+	if serial > 2 {
+		t.Errorf("serial Map allocates %.0f times, want <= 2", serial)
+	}
+	parallel := testing.AllocsPerRun(20, func() {
+		Map(Config{Workers: 4}, inputs, func(i int) int { return i * 2 })
+	})
+	// Output slice + task channel + worker goroutines + ~workers×4 chunk
+	// tasks; far below one allocation per item (4096).
+	if parallel > 64 {
+		t.Errorf("parallel Map allocates %.0f times for %d items, want <= 64", parallel, len(inputs))
+	}
+}

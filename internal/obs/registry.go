@@ -125,6 +125,21 @@ func FanoutBuckets() []float64 {
 	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 }
 
+// TaskLatencyBuckets returns executor task bounds in seconds. Mapreduce
+// chunks complete in single-digit microseconds once granularity is
+// coarsened, and queue wait on a buffered channel is often sub-microsecond;
+// the default LatencyBuckets — which start at 100µs — collapsed every
+// observation into the first bucket and hid exactly the dispatch overhead
+// the parallelism work attacks. These bounds start at 1µs and stay
+// log-spaced up to 1s so both a tiny chunk and a whole coarse shard resolve.
+func TaskLatencyBuckets() []float64 {
+	return []float64{
+		0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+		0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05, 0.1, 0.25, 1,
+	}
+}
+
 // ServeLatencyBuckets returns the HTTP route latency bounds in seconds.
 // The indexed store answers most routes in tens of microseconds
 // (BENCH_serve.json), so the default LatencyBuckets — which start at
