@@ -80,45 +80,65 @@ func benchQueries(st *store.Store) []store.Query {
 }
 
 // BenchmarkStoreLookup measures the indexed read path against the
-// brute-force scan on the same query mix and records the speedup — the
-// ISSUE-5 criterion is >=10x — in BENCH_serve.json.
+// brute-force scan on the same query mix, across serving layouts: the
+// flat store and the entity-hash-sharded store. Each layout contributes
+// a row (keyed by its shard count) to BENCH_serve.json, pinning both the
+// >=10x index-vs-scan criterion (ISSUE 5) and the cost of the sharded
+// scatter-gather merge relative to one flat store (ISSUE 9).
 func BenchmarkStoreLookup(b *testing.B) {
-	st := serveStore()
-	if st.Len() == 0 {
+	flat := serveStore()
+	if flat.Len() == 0 {
 		b.Fatal("empty store")
 	}
-	qs := benchQueries(st)
-	nsPerOp := map[string]int64{}
-	for _, sub := range []struct {
-		name string
-		run  func(q store.Query) []store.Fact
-	}{
-		{"indexed", st.Lookup},
-		{"scan", st.Scan},
-	} {
-		sub := sub
-		b.Run(sub.name, func(b *testing.B) {
-			b.ReportAllocs()
-			start := time.Now()
-			for i := 0; i < b.N; i++ {
-				if got := sub.run(qs[i%len(qs)]); len(got) == 0 {
-					b.Fatalf("query %+v returned nothing", qs[i%len(qs)])
+	qs := benchQueries(flat)
+	type layout struct {
+		shards int
+		lookup func(q store.Query) []store.Fact
+		scan   func(q store.Query) []store.Fact
+	}
+	sharded := store.NewSharded(flat.Facts(), store.DefaultShards)
+	layouts := []layout{
+		{1, flat.Lookup, flat.Scan},
+		{sharded.ShardCount(), sharded.Lookup, sharded.Scan},
+	}
+	rows := make([]map[string]any, 0, len(layouts))
+	for _, l := range layouts {
+		nsPerOp := map[string]int64{}
+		for _, sub := range []struct {
+			name string
+			run  func(q store.Query) []store.Fact
+		}{
+			{"indexed", l.lookup},
+			{"scan", l.scan},
+		} {
+			sub := sub
+			b.Run(fmt.Sprintf("shards=%d/%s", l.shards, sub.name), func(b *testing.B) {
+				b.ReportAllocs()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					if got := sub.run(qs[i%len(qs)]); len(got) == 0 {
+						b.Fatalf("query %+v returned nothing", qs[i%len(qs)])
+					}
 				}
-			}
-			nsPerOp[sub.name] = time.Since(start).Nanoseconds() / int64(b.N)
+				nsPerOp[sub.name] = time.Since(start).Nanoseconds() / int64(b.N)
+			})
+		}
+		indexed, scan := nsPerOp["indexed"], nsPerOp["scan"]
+		if indexed == 0 || scan == 0 {
+			return
+		}
+		rows = append(rows, map[string]any{
+			"shards":            l.shards,
+			"indexed_ns_per_op": indexed,
+			"scan_ns_per_op":    scan,
+			"speedup":           float64(scan) / float64(indexed),
 		})
 	}
-	indexed, scan := nsPerOp["indexed"], nsPerOp["scan"]
-	if indexed == 0 || scan == 0 {
-		return
-	}
 	mergeBenchServe(b, "store_lookup", map[string]any{
-		"facts":             st.Len(),
-		"entities":          st.EntityCount(),
-		"queries":           len(qs),
-		"indexed_ns_per_op": indexed,
-		"scan_ns_per_op":    scan,
-		"speedup":           float64(scan) / float64(indexed),
+		"facts":    flat.Len(),
+		"entities": flat.EntityCount(),
+		"queries":  len(qs),
+		"rows":     rows,
 	})
 }
 
@@ -126,37 +146,48 @@ func BenchmarkStoreLookup(b *testing.B) {
 // middleware, store lookup and JSON encoding — against an in-process
 // listener.
 func BenchmarkServeQuery(b *testing.B) {
-	st := serveStore()
-	srv := serve.New(st, obs.NewRegistry(), serve.DefaultConfig())
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	flat := serveStore()
+	rows := make([]map[string]any, 0, 2)
+	for _, l := range []struct {
+		shards int
+		st     store.Querier
+	}{
+		{1, flat},
+		{store.DefaultShards, store.NewSharded(flat.Facts(), store.DefaultShards)},
+	} {
+		srv := serve.New(l.st, obs.NewRegistry(), serve.DefaultConfig())
+		ts := httptest.NewServer(srv.Handler())
 
-	facts := st.Facts()
-	urls := []string{
-		fmt.Sprintf("%s/v1/entity/%s", ts.URL, strings.ReplaceAll(facts[0].Entity, " ", "_")),
-		fmt.Sprintf("%s/v1/query?class=%s&limit=50", ts.URL, url.QueryEscape(st.Classes()[0])),
-		fmt.Sprintf("%s/healthz", ts.URL),
-	}
-	nsPerOp := map[string]int64{}
-	for _, u := range urls {
-		u := u
-		b.Run(u[len(ts.URL):], func(b *testing.B) {
-			start := time.Now()
-			for i := 0; i < b.N; i++ {
-				resp, err := http.Get(u)
-				if err != nil {
-					b.Fatal(err)
+		facts := flat.Facts()
+		urls := []string{
+			fmt.Sprintf("%s/v1/entity/%s", ts.URL, strings.ReplaceAll(facts[0].Entity, " ", "_")),
+			fmt.Sprintf("%s/v1/query?class=%s&limit=50", ts.URL, url.QueryEscape(flat.Classes()[0])),
+			fmt.Sprintf("%s/healthz", ts.URL),
+		}
+		nsPerOp := map[string]int64{}
+		for _, u := range urls {
+			u := u
+			b.Run(fmt.Sprintf("shards=%d%s", l.shards, u[len(ts.URL):]), func(b *testing.B) {
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					resp, err := http.Get(u)
+					if err != nil {
+						b.Fatal(err)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						b.Fatalf("%s: status %d", u, resp.StatusCode)
+					}
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					b.Fatalf("%s: status %d", u, resp.StatusCode)
-				}
-			}
-			nsPerOp[u[len(ts.URL):]] = time.Since(start).Nanoseconds() / int64(b.N)
+				nsPerOp[u[len(ts.URL):]] = time.Since(start).Nanoseconds() / int64(b.N)
+			})
+		}
+		ts.Close()
+		rows = append(rows, map[string]any{
+			"shards":           l.shards,
+			"routes_ns_per_op": nsPerOp,
 		})
 	}
-	mergeBenchServe(b, "serve_query", map[string]any{
-		"routes_ns_per_op": nsPerOp,
-	})
+	mergeBenchServe(b, "serve_query", map[string]any{"rows": rows})
 }

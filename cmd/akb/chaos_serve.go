@@ -70,7 +70,7 @@ func cmdChaosServe(args []string) error {
 			return err
 		}
 		path := *snapPath
-		cfg.Reloader = func() (*store.Store, error) { return store.ReadSnapshotFile(path) }
+		cfg.Reloader = func() (store.Querier, error) { return store.ReadSnapshotFile(path) }
 	} else {
 		fmt.Fprintf(os.Stderr, "no -snapshot given; running pipeline (seed %d) ...\n", *seed)
 		res, err := core.New(core.WithSeed(*seed)).Run(context.Background())

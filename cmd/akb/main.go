@@ -21,7 +21,11 @@
 //	serve      serve the fused KB over an HTTP query API (flag: -snapshot)
 //	profile    run the pipeline under CPU+heap profiling; writes .pprof files
 //	           plus a per-stage attribution table (flag: -out)
-//	snapshot   verify / inspect store snapshot files (subcommands: verify, info)
+//	snapshot   verify / inspect / convert store snapshot files
+//	           (subcommands: verify, info, convert)
+//	loadtest   closed- or open-loop HTTP load generator against a running
+//	           akb serve; writes latency percentiles, throughput and shed
+//	           rate to BENCH_load.json
 //	chaos-serve  drive the HTTP API under injected store faults and assert
 //	             the robustness invariants (panic isolation, shedding,
 //	             timeouts, reload-under-load)
@@ -60,7 +64,8 @@ func commands() []command {
 		{"show", "print fused knowledge about one entity", cmdShow},
 		{"serve", "serve the fused KB over an HTTP query API", cmdServe},
 		{"profile", "run the pipeline under CPU+heap profiling with per-stage attribution", cmdProfile},
-		{"snapshot", "verify / inspect store snapshot files", cmdSnapshot},
+		{"snapshot", "verify / inspect / convert store snapshot files", cmdSnapshot},
+		{"loadtest", "drive a running akb serve with load; report latency percentiles and shed rate", cmdLoadtest},
 		{"chaos-serve", "chaos harness for the serving path: inject faults, assert invariants", cmdChaosServe},
 		{"export", "export the augmented KB as N-Triples", cmdExport},
 		{"all", "run every experiment", cmdAll},

@@ -50,6 +50,7 @@ func cmdPipeline(args []string) error {
 	temporal := fs.Bool("temporal", false, "enable temporal extraction and timeline fusion")
 	lists := fs.Bool("lists", false, "enable multi-record list-page extraction")
 	parallel := fs.Int("parallel", 0, "run up to N independent stages concurrently on the DAG scheduler (0 or 1: serial); results are identical at any value")
+	scale := fs.Int("scale", 1, "multiply substrate sizes (entities, pages, docs, query stream) by this factor; the fused KB grows roughly linearly")
 	reportPath := fs.String("report", "", "write a machine-readable telemetry RunReport (spans, metrics, health) to this JSON file")
 	snapPath := fs.String("snapshot", "", "write an indexed store snapshot of the fused KB to this file (servable with `akb serve -snapshot`)")
 	buildFaults := faultFlags(fs)
@@ -57,6 +58,9 @@ func cmdPipeline(args []string) error {
 		return err
 	}
 	opts := []core.Option{core.WithSeed(*seed)}
+	if *scale > 1 {
+		opts = append(opts, core.WithScale(*scale))
+	}
 	if *alignOn {
 		opts = append(opts, core.WithAlignment())
 	}

@@ -31,9 +31,18 @@ import (
 // path's robustness — panic isolation, timeouts, shedding — can be
 // exercised on a live process; see also `akb chaos-serve` for the
 // self-checking harness.
+// shardLayout renders a querier's serving layout for startup logs.
+func shardLayout(q store.Querier) string {
+	if sh, ok := q.(interface{ ShardCount() int }); ok {
+		return fmt.Sprintf("%d shards", sh.ShardCount())
+	}
+	return "1 flat store"
+}
+
 func cmdServe(args []string) error {
 	fs, seed := newFlagSet("serve")
 	snapPath := fs.String("snapshot", "", "serve this snapshot file instead of running the pipeline")
+	shards := fs.Int("shards", 0, "serving shard count: 0 keeps a binary snapshot's stored layout (JSON snapshots shard to 8), 1 forces one flat store, N re-shards")
 	addr := fs.String("addr", ":8080", "listen address")
 	maxInflight := fs.Int("max-inflight", 64, "maximum concurrent requests before shedding with 429")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout (503 on expiry)")
@@ -83,25 +92,37 @@ func cmdServe(args []string) error {
 		cfg.AccessLog = logx.New(f, logx.WithLevel(level))
 	}
 
-	var st *store.Store
+	var st store.Querier
 	if *snapPath != "" {
-		var err error
-		if st, err = store.ReadSnapshotFile(*snapPath); err != nil {
+		q, info, err := store.OpenSnapshotFile(*snapPath, *shards)
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "loaded snapshot %s: %d facts, %d entities, %d classes\n",
-			*snapPath, st.Len(), st.EntityCount(), len(st.Classes()))
-		path := *snapPath
-		cfg.Reloader = func() (*store.Store, error) { return store.ReadSnapshotFile(path) }
+		st = q
+		fmt.Fprintf(os.Stderr, "loaded snapshot %s (%s v%d): %d facts, %d entities, %d classes, serving %s\n",
+			*snapPath, info.Codec, info.Version, st.Len(), st.EntityCount(), len(st.Classes()), shardLayout(st))
+		path, n := *snapPath, *shards
+		cfg.Reloader = func() (store.Querier, error) {
+			q, _, err := store.OpenSnapshotFile(path, n)
+			return q, err
+		}
 	} else {
 		fmt.Fprintf(os.Stderr, "no -snapshot given; running pipeline (seed %d) ...\n", *seed)
 		res, err := core.New(core.WithSeed(*seed)).Run(context.Background())
 		if err != nil {
 			return fmt.Errorf("pipeline: %w", err)
 		}
-		st = store.FromResult(res)
-		fmt.Fprintf(os.Stderr, "pipeline done: serving %d facts, %d entities (no snapshot: hot reload disabled)\n",
-			st.Len(), st.EntityCount())
+		n := *shards
+		if n == 0 {
+			n = store.DefaultShards
+		}
+		if n > 1 {
+			st = store.ShardedFromResult(res, n)
+		} else {
+			st = store.FromResult(res)
+		}
+		fmt.Fprintf(os.Stderr, "pipeline done: serving %d facts, %d entities as %s (no snapshot: hot reload disabled)\n",
+			st.Len(), st.EntityCount(), shardLayout(st))
 	}
 
 	if *chaosFail > 0 || *chaosLatency > 0 {

@@ -8,6 +8,7 @@ import (
 	"akb/internal/entitydisc"
 	"akb/internal/fusion"
 	"akb/internal/kb"
+	"akb/internal/querystream"
 	"akb/internal/resilience"
 	"akb/internal/webgen"
 )
@@ -71,6 +72,34 @@ func WithSeed(seed int64) Option {
 // WithWorld replaces the ground-truth world configuration.
 func WithWorld(w kb.WorldConfig) Option {
 	return func(c *Config) { c.World = w }
+}
+
+// WithScale multiplies the synthetic-substrate sizes by k: entities per
+// class, pages per site, documents per class, and the query stream
+// (total records and per-class relevant counts) all grow k-fold, so the
+// fused KB grows roughly linearly in k. k <= 1 is a no-op. Scaling
+// composes with WithSeed and WithWorld when listed after them.
+func WithScale(k int) Option {
+	return func(c *Config) {
+		if k <= 1 {
+			return
+		}
+		c.World.EntitiesPerClass *= k
+		c.Sites.PagesPerSite *= k
+		c.Corpus.DocsPerClass *= k
+		c.Stream.TotalRecords *= k
+		// Copy the plan slice so a caller-owned Config (WithConfig) is not
+		// mutated through the shared backing array.
+		plans := make([]querystream.ClassPlan, len(c.Stream.Plans))
+		copy(plans, c.Stream.Plans)
+		for i := range plans {
+			plans[i].Relevant *= k
+			// The noncredible pool must grow with the relevant volume or
+			// the generator cannot place the below-threshold remainder.
+			plans[i].NoncrediblePool *= k
+		}
+		c.Stream.Plans = plans
+	}
 }
 
 // WithParallelism bounds how many independent stages execute concurrently

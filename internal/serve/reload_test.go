@@ -156,7 +156,7 @@ func TestPanicIsolation(t *testing.T) {
 func TestReloadSwapsGeneration(t *testing.T) {
 	next := markerStore("gen2", 3)
 	cfg := DefaultConfig()
-	cfg.Reloader = func() (*store.Store, error) { return next, nil }
+	cfg.Reloader = func() (store.Querier, error) { return next, nil }
 	s := New(markerStore("gen1", 3), obs.NewRegistry(), cfg)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -195,7 +195,7 @@ func TestReloadFailureKeepsServing(t *testing.T) {
 	var empty atomic.Bool
 	good := markerStore("gen2", 3)
 	cfg := DefaultConfig()
-	cfg.Reloader = func() (*store.Store, error) {
+	cfg.Reloader = func() (store.Querier, error) {
 		if fail.Load() {
 			return nil, errors.New("disk on fire")
 		}
@@ -253,7 +253,7 @@ func TestReloadFailureKeepsServing(t *testing.T) {
 // successful reload flips everything to serving.
 func TestStartingState(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.Reloader = func() (*store.Store, error) { return markerStore("gen1", 2), nil }
+	cfg.Reloader = func() (store.Querier, error) { return markerStore("gen1", 2), nil }
 	s := New(nil, obs.NewRegistry(), cfg)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -290,7 +290,7 @@ func TestHotReloadUnderLoad(t *testing.T) {
 	const swaps = 40
 	gen := atomic.Int64{}
 	cfg := DefaultConfig()
-	cfg.Reloader = func() (*store.Store, error) {
+	cfg.Reloader = func() (store.Querier, error) {
 		// Generation g serves marker "m<g>". The reloader is called with
 		// gen already advanced by the swapping goroutine.
 		return markerStore(fmt.Sprintf("m%d", gen.Load()), 4), nil

@@ -86,8 +86,11 @@ type Config struct {
 	MaxResults int
 	// Reloader loads a fresh store for hot reload (SIGHUP or
 	// POST /v1/admin/reload) — typically a closure re-reading the
-	// snapshot file, off the serving path. Nil disables reloading.
-	Reloader func() (*store.Store, error)
+	// snapshot file, off the serving path. It may return a flat
+	// *store.Store or a *store.Sharded; either way one successful reload
+	// swaps the whole serving surface — every shard included — behind a
+	// single generation pointer. Nil disables reloading.
+	Reloader func() (store.Querier, error)
 	// WrapQuerier, when set, wraps the querier of every store generation
 	// the server adopts (initial store and each reload). The chaos
 	// harness injects faults here; it is also the seam for future
@@ -164,11 +167,12 @@ func (h Health) String() string {
 func (h Health) ready() bool { return h == HealthServing || h == HealthDegraded }
 
 // generation is the atomically swappable serving handle: one immutable
-// store, the querier handlers read through, and a response cache scoped
-// to exactly this generation. Swapping the pointer retires store and
-// cache together, which is what makes reload sound for cached bodies.
+// store (flat or sharded), the querier handlers read through, and a
+// response cache scoped to exactly this generation. Swapping the pointer
+// retires store, every shard and cache together, which is what makes
+// reload sound for cached bodies and shard routing alike.
 type generation struct {
-	st    *store.Store
+	st    store.Querier
 	q     store.Querier
 	num   uint64
 	cache *respCache
@@ -194,13 +198,14 @@ type Server struct {
 	handler  http.Handler
 }
 
-// New builds a server over the store. The registry may be nil (metrics
-// become no-ops and /metrics returns an empty snapshot). A nil store is
-// allowed: the server starts in the "starting" state, answers health
-// probes, and begins serving after the first successful Reload — the
-// boot sequence `akb serve` uses so a bad snapshot is a clean error, not
-// a half-started process.
-func New(st *store.Store, reg *obs.Registry, cfg Config) *Server {
+// New builds a server over the store — a flat *store.Store or a
+// *store.Sharded; the handlers are agnostic. The registry may be nil
+// (metrics become no-ops and /metrics returns an empty snapshot). A nil
+// store is allowed: the server starts in the "starting" state, answers
+// health probes, and begins serving after the first successful Reload —
+// the boot sequence `akb serve` uses so a bad snapshot is a clean error,
+// not a half-started process.
+func New(st store.Querier, reg *obs.Registry, cfg Config) *Server {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = DefaultConfig().MaxInFlight
 	}
@@ -239,8 +244,8 @@ func New(st *store.Store, reg *obs.Registry, cfg Config) *Server {
 }
 
 // install adopts a store as the next generation.
-func (s *Server) install(st *store.Store) *generation {
-	var q store.Querier = st
+func (s *Server) install(st store.Querier) *generation {
+	q := st
 	if s.cfg.WrapQuerier != nil {
 		q = s.cfg.WrapQuerier(q)
 	}
@@ -613,6 +618,7 @@ type healthzBody struct {
 	Generation      uint64   `json:"generation"`
 	Facts           int      `json:"facts"`
 	Entities        int      `json:"entities"`
+	Shards          int      `json:"shards,omitempty"`
 	Classes         []string `json:"classes,omitempty"`
 	UptimeMS        int64    `json:"uptime_ms"`
 	LastReloadError string   `json:"last_reload_error,omitempty"`
@@ -634,6 +640,9 @@ func (s *Server) healthBody(g *generation) healthzBody {
 		body.Facts = g.st.Len()
 		body.Entities = g.st.EntityCount()
 		body.Classes = g.st.Classes()
+		if sh, ok := g.st.(interface{ ShardCount() int }); ok {
+			body.Shards = sh.ShardCount()
+		}
 	}
 	if msg := s.lastReloadErr.Load(); msg != nil {
 		body.LastReloadError = *msg
@@ -749,13 +758,22 @@ func (s *Server) handleQuery(g *generation, r *http.Request) routeResult {
 			limit = n
 		}
 	}
-	facts := g.q.Lookup(q)
-	total := len(facts)
-	truncated := false
-	if len(facts) > limit {
-		facts = facts[:limit]
-		truncated = true
+	// Capped lookups push the limit into the store when it supports it —
+	// a sharded querier then materialises at most limit facts per shard
+	// instead of the full result set. The fallback (full Lookup, then
+	// truncate) returns byte-identical responses.
+	var facts []store.Fact
+	var total int
+	if lq, ok := g.q.(store.LimitedQuerier); ok {
+		facts, total = lq.LookupN(q, limit)
+	} else {
+		facts = g.q.Lookup(q)
+		total = len(facts)
+		if len(facts) > limit {
+			facts = facts[:limit]
+		}
 	}
+	truncated := total > len(facts)
 	if facts == nil {
 		facts = []store.Fact{}
 	}

@@ -1,0 +1,444 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Binary snapshot codec (version 3). The JSON codec (versions 1 and 2)
+// is diffable and hand-editable but pays ~20x in bytes and a full JSON
+// parse on load; at the ROADMAP's millions-of-facts scale neither is
+// acceptable. Version 3 is a compact columnar layout:
+//
+//	magic   "akbsnap3"                                  8 bytes
+//	header  version u32 | shards u32 | facts u64 | strings u64   (big-endian)
+//	strings sorted unique string table: uvarint len + raw bytes each
+//	shard×N u64 fact count, then columns:
+//	          keys        16 bytes/fact: entity,attr,value,class u32 IDs
+//	          confidence  8 bytes/fact: IEEE-754 bits
+//	          sources     uvarint/fact
+//	          ancestors   uvarint count + uvarint IDs per fact
+//	trailer sha256 over every preceding byte                32 bytes
+//
+// String IDs are assigned in sorted-string order, so the fixed-width
+// big-endian key tuples sort bytewise exactly like the store's canonical
+// (entity, attr, value, class) fact order — the sort-order-preserving
+// key encoding janus-datalog uses for its storage layer. A shard's key
+// section is therefore sorted flat fixed-width records: binary-searchable
+// in place, mmap-friendly, no decode needed to navigate. The current
+// reader materialises facts eagerly; the layout is what makes a future
+// zero-copy reader possible without a codec bump.
+//
+// Facts are segmented per shard by entity hash (ShardOf), so a loader
+// can reconstruct the sharded store without re-partitioning and a future
+// multi-process deployment can ship individual segments to shard owners.
+const (
+	// BinarySnapshotVersion is the codec version binary snapshots carry.
+	// It continues the JSON codec's version line: ReadSnapshotFile and
+	// VerifySnapshotFile accept 1 and 2 as JSON and 3 as binary.
+	BinarySnapshotVersion = 3
+
+	binMagic      = "akbsnap3"
+	binHeaderLen  = len(binMagic) + 4 + 4 + 8 + 8
+	binTrailerLen = sha256.Size
+	binKeyWidth   = 16
+)
+
+// WriteBinarySnapshot serialises the sharded store in the version-3
+// binary layout. The encoding is deterministic: equal stores produce
+// byte-identical snapshots.
+func (s *Sharded) WriteBinarySnapshot(w io.Writer) error {
+	strs, ids, err := binStringTable(s)
+	if err != nil {
+		return err
+	}
+	h := sha256.New()
+	bw := bufio.NewWriter(w)
+	out := io.MultiWriter(bw, h)
+
+	var hdr bytes.Buffer
+	hdr.WriteString(binMagic)
+	be := binary.BigEndian
+	var u32 [4]byte
+	var u64 [8]byte
+	be.PutUint32(u32[:], BinarySnapshotVersion)
+	hdr.Write(u32[:])
+	be.PutUint32(u32[:], uint32(len(s.shards)))
+	hdr.Write(u32[:])
+	be.PutUint64(u64[:], uint64(s.Len()))
+	hdr.Write(u64[:])
+	be.PutUint64(u64[:], uint64(len(strs)))
+	hdr.Write(u64[:])
+	if _, err := out.Write(hdr.Bytes()); err != nil {
+		return fmt.Errorf("store: write binary header: %w", err)
+	}
+
+	var varint [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(varint[:], v)
+		_, err := out.Write(varint[:n])
+		return err
+	}
+	for _, str := range strs {
+		if err := writeUvarint(uint64(len(str))); err != nil {
+			return fmt.Errorf("store: write string table: %w", err)
+		}
+		if _, err := io.WriteString(out, str); err != nil {
+			return fmt.Errorf("store: write string table: %w", err)
+		}
+	}
+
+	for _, sh := range s.shards {
+		facts := sh.Facts()
+		be.PutUint64(u64[:], uint64(len(facts)))
+		if _, err := out.Write(u64[:]); err != nil {
+			return fmt.Errorf("store: write shard header: %w", err)
+		}
+		var key [binKeyWidth]byte
+		for _, f := range facts {
+			be.PutUint32(key[0:4], ids[f.Entity])
+			be.PutUint32(key[4:8], ids[f.Attr])
+			be.PutUint32(key[8:12], ids[f.Value])
+			be.PutUint32(key[12:16], ids[f.Class])
+			if _, err := out.Write(key[:]); err != nil {
+				return fmt.Errorf("store: write keys: %w", err)
+			}
+		}
+		for _, f := range facts {
+			be.PutUint64(u64[:], math.Float64bits(f.Confidence))
+			if _, err := out.Write(u64[:]); err != nil {
+				return fmt.Errorf("store: write confidences: %w", err)
+			}
+		}
+		for _, f := range facts {
+			if f.Sources < 0 {
+				return fmt.Errorf("store: negative source count %d for %q", f.Sources, f.Entity)
+			}
+			if err := writeUvarint(uint64(f.Sources)); err != nil {
+				return fmt.Errorf("store: write sources: %w", err)
+			}
+		}
+		for _, f := range facts {
+			if err := writeUvarint(uint64(len(f.Ancestors))); err != nil {
+				return fmt.Errorf("store: write ancestors: %w", err)
+			}
+			for _, anc := range f.Ancestors {
+				if err := writeUvarint(uint64(ids[anc])); err != nil {
+					return fmt.Errorf("store: write ancestors: %w", err)
+				}
+			}
+		}
+	}
+
+	if _, err := bw.Write(h.Sum(nil)); err != nil {
+		return fmt.Errorf("store: write checksum: %w", err)
+	}
+	return bw.Flush()
+}
+
+// binStringTable collects every distinct string of the store — entities,
+// classes, attributes, values, ancestors — sorted, and maps each to its
+// ID. Sorted assignment is what makes the fixed-width keys sortable.
+func binStringTable(s *Sharded) ([]string, map[string]uint32, error) {
+	set := make(map[string]bool)
+	for _, sh := range s.shards {
+		for _, f := range sh.Facts() {
+			set[f.Entity] = true
+			set[f.Class] = true
+			set[f.Attr] = true
+			set[f.Value] = true
+			for _, anc := range f.Ancestors {
+				set[anc] = true
+			}
+		}
+	}
+	if uint64(len(set)) > math.MaxUint32 {
+		return nil, nil, fmt.Errorf("store: %d distinct strings exceed the u32 ID space", len(set))
+	}
+	strs := make([]string, 0, len(set))
+	for str := range set {
+		strs = append(strs, str)
+	}
+	sort.Strings(strs)
+	ids := make(map[string]uint32, len(strs))
+	for i, str := range strs {
+		ids[str] = uint32(i)
+	}
+	return strs, ids, nil
+}
+
+// WriteBinarySnapshotFile writes the binary snapshot to path with the
+// same crash-safety contract as Store.WriteSnapshotFile: temp file in
+// the target directory, fsync, atomic rename.
+func (s *Sharded) WriteBinarySnapshotFile(path string) error {
+	return atomicWriteFile(path, s.WriteBinarySnapshot)
+}
+
+// binReader walks a fully-read snapshot with bounds-checked cursors so a
+// truncated or bit-flipped file (that somehow passed the checksum —
+// impossible — or a logic error here) fails loudly, never misparses.
+type binReader struct {
+	data []byte
+	off  int
+}
+
+func (r *binReader) take(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, fmt.Errorf("store: binary snapshot truncated at offset %d (need %d more bytes)", r.off, n)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *binReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("store: binary snapshot: bad varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// binHeader is the parsed fixed header of a binary snapshot.
+type binHeader struct {
+	shards  int
+	facts   int
+	strings int
+}
+
+// binVerify checks magic, version and checksum of a whole binary
+// snapshot and parses the fixed header. Shared by the reader and the
+// verify path.
+func binVerify(data []byte) (binHeader, *binReader, error) {
+	var hdr binHeader
+	if len(data) < binHeaderLen+binTrailerLen {
+		return hdr, nil, fmt.Errorf("store: binary snapshot truncated: %d bytes, need at least %d", len(data), binHeaderLen+binTrailerLen)
+	}
+	payload, trailer := data[:len(data)-binTrailerLen], data[len(data)-binTrailerLen:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], trailer) {
+		return hdr, nil, fmt.Errorf("store: binary snapshot checksum mismatch: trailer %s, payload %s — file is corrupt",
+			hex.EncodeToString(trailer), hex.EncodeToString(sum[:]))
+	}
+	r := &binReader{data: payload}
+	magic, _ := r.take(len(binMagic))
+	if string(magic) != binMagic {
+		return hdr, nil, fmt.Errorf("store: not a binary akb snapshot (magic %q)", magic)
+	}
+	be := binary.BigEndian
+	b, _ := r.take(4 + 4 + 8 + 8)
+	version := be.Uint32(b[0:4])
+	if version != BinarySnapshotVersion {
+		return hdr, nil, fmt.Errorf("store: unsupported binary snapshot version %d (this build reads %d)", version, BinarySnapshotVersion)
+	}
+	hdr.shards = int(be.Uint32(b[4:8]))
+	hdr.facts = int(be.Uint64(b[8:16]))
+	hdr.strings = int(be.Uint64(b[16:24]))
+	if hdr.shards <= 0 {
+		return hdr, nil, fmt.Errorf("store: binary snapshot declares %d shards", hdr.shards)
+	}
+	return hdr, r, nil
+}
+
+// ReadBinarySnapshot loads a version-3 snapshot written by
+// WriteBinarySnapshot, rebuilding every shard's indexes. The checksum is
+// verified over the whole file before any parsing, so a torn or
+// bit-flipped snapshot is rejected up front.
+func ReadBinarySnapshot(rd io.Reader) (*Sharded, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("store: read binary snapshot: %w", err)
+	}
+	hdr, r, err := binVerify(data)
+	if err != nil {
+		return nil, err
+	}
+	strs := make([]string, hdr.strings)
+	for i := range strs {
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.take(int(n))
+		if err != nil {
+			return nil, err
+		}
+		strs[i] = string(b)
+	}
+	str := func(id uint64) (string, error) {
+		if id >= uint64(len(strs)) {
+			return "", fmt.Errorf("store: binary snapshot references string %d of %d", id, len(strs))
+		}
+		return strs[id], nil
+	}
+
+	be := binary.BigEndian
+	total := 0
+	parts := make([][]Fact, hdr.shards)
+	for si := range parts {
+		nb, err := r.take(8)
+		if err != nil {
+			return nil, err
+		}
+		n := int(be.Uint64(nb))
+		if n < 0 || total+n > hdr.facts {
+			return nil, fmt.Errorf("store: binary snapshot shard %d overflows declared fact count %d", si, hdr.facts)
+		}
+		total += n
+		facts := make([]Fact, n)
+		keys, err := r.take(n * binKeyWidth)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			k := keys[i*binKeyWidth:]
+			f := &facts[i]
+			if f.Entity, err = str(uint64(be.Uint32(k[0:4]))); err != nil {
+				return nil, err
+			}
+			if f.Attr, err = str(uint64(be.Uint32(k[4:8]))); err != nil {
+				return nil, err
+			}
+			if f.Value, err = str(uint64(be.Uint32(k[8:12]))); err != nil {
+				return nil, err
+			}
+			if f.Class, err = str(uint64(be.Uint32(k[12:16]))); err != nil {
+				return nil, err
+			}
+			if got := ShardOf(f.Entity, hdr.shards); got != si {
+				return nil, fmt.Errorf("store: binary snapshot misplaces entity %q in shard %d (hashes to %d)", f.Entity, si, got)
+			}
+		}
+		confs, err := r.take(n * 8)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			facts[i].Confidence = math.Float64frombits(be.Uint64(confs[i*8:]))
+		}
+		for i := 0; i < n; i++ {
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			facts[i].Sources = int(v)
+		}
+		for i := 0; i < n; i++ {
+			cnt, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if cnt > uint64(len(strs)) {
+				return nil, fmt.Errorf("store: binary snapshot fact claims %d ancestors", cnt)
+			}
+			if cnt == 0 {
+				continue
+			}
+			anc := make([]string, cnt)
+			for j := range anc {
+				id, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if anc[j], err = str(id); err != nil {
+					return nil, err
+				}
+			}
+			facts[i].Ancestors = anc
+		}
+		parts[si] = facts
+	}
+	if total != hdr.facts {
+		return nil, fmt.Errorf("store: binary snapshot truncated: header says %d facts, found %d", hdr.facts, total)
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("store: binary snapshot has %d trailing bytes", len(r.data)-r.off)
+	}
+
+	s := &Sharded{shards: make([]*Store, hdr.shards)}
+	classSet := make(map[string]bool)
+	for i, part := range parts {
+		sh := New(part)
+		s.shards[i] = sh
+		s.nFacts += sh.Len()
+		s.nEntity += sh.EntityCount()
+		for _, c := range sh.Classes() {
+			classSet[c] = true
+		}
+	}
+	s.classes = make([]string, 0, len(classSet))
+	for c := range classSet {
+		s.classes = append(s.classes, c)
+	}
+	sort.Strings(s.classes)
+	return s, nil
+}
+
+// ReadBinarySnapshotFile loads a binary snapshot from a file.
+func ReadBinarySnapshotFile(path string) (*Sharded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := ReadBinarySnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// verifyBinarySnapshot checks a binary snapshot's integrity without
+// building stores: the checksum over the whole file plus the fixed
+// header. The checksum covers every payload byte, so a deeper structural
+// walk cannot find corruption the trailer missed. Backs
+// VerifySnapshotFile for version-3 files.
+func verifyBinarySnapshot(data []byte) (SnapshotInfo, error) {
+	info := SnapshotInfo{Codec: SnapshotCodecBinary}
+	hdr, _, err := binVerify(data)
+	if err != nil {
+		return info, err
+	}
+	info.Version = BinarySnapshotVersion
+	info.Facts = hdr.facts
+	info.Shards = hdr.shards
+	info.Checksum = checksumPrefix + hex.EncodeToString(data[len(data)-binTrailerLen:])
+	return info, nil
+}
+
+// atomicWriteFile writes via a temp file in the target directory, fsyncs
+// and renames — the shared crash-safety path of both snapshot codecs.
+func atomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: snapshot temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	if err = writeSyncClose(f, write); err != nil {
+		return fmt.Errorf("store: write snapshot %s: %w", path, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"akb/internal/kb"
+)
+
+// binTestSharded builds the live-pipeline store most binary-codec tests
+// round-trip.
+func binTestSharded(t *testing.T) *Sharded {
+	t.Helper()
+	res, err := smallPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ShardedFromResult(res, 4)
+}
+
+// TestBinarySnapshotRoundTrip pins the codec's determinism both ways:
+// write → read rebuilds an equivalent store, and re-writing that store
+// reproduces the original bytes exactly.
+func TestBinarySnapshotRoundTrip(t *testing.T) {
+	sh := binTestSharded(t)
+	var buf bytes.Buffer
+	if err := sh.WriteBinarySnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	got, err := ReadBinarySnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ShardCount() != sh.ShardCount() || got.Len() != sh.Len() || got.EntityCount() != sh.EntityCount() {
+		t.Fatalf("reloaded store shape: shards %d/%d facts %d/%d entities %d/%d",
+			got.ShardCount(), sh.ShardCount(), got.Len(), sh.Len(), got.EntityCount(), sh.EntityCount())
+	}
+	if !reflect.DeepEqual(got.Facts(), sh.Facts()) {
+		t.Fatal("reloaded facts differ from source")
+	}
+
+	var again bytes.Buffer
+	if err := got.WriteBinarySnapshot(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again.Bytes()) {
+		t.Fatalf("write→read→write not byte-identical: %d vs %d bytes", len(raw), again.Len())
+	}
+}
+
+// TestBinarySnapshotEmptyAndTiny covers degenerate stores: zero facts,
+// one fact, empty-string class.
+func TestBinarySnapshotEmptyAndTiny(t *testing.T) {
+	for name, sh := range map[string]*Sharded{
+		"empty": NewSharded(nil, 2),
+		"one":   NewSharded([]Fact{{Entity: "E", Attr: "a", Value: "v", Confidence: 0.5}}, 3),
+		"ancestors": NewSharded([]Fact{
+			{Entity: "E", Class: "C", Attr: "a", Value: "Wuhan", Confidence: 1, Sources: 9,
+				Ancestors: []string{"Hubei", "China"}},
+		}, 2),
+	} {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := sh.WriteBinarySnapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ReadBinarySnapshot(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Facts(), sh.Facts()) {
+				t.Errorf("round trip differs: %+v vs %+v", got.Facts(), sh.Facts())
+			}
+		})
+	}
+}
+
+// TestBinarySnapshotRejectsCorruption is the acceptance criterion's
+// corruption suite: bit flips anywhere and torn prefixes of any length
+// must be rejected, never silently misread.
+func TestBinarySnapshotRejectsCorruption(t *testing.T) {
+	sh := binTestSharded(t)
+	var buf bytes.Buffer
+	if err := sh.WriteBinarySnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	t.Run("bit flips", func(t *testing.T) {
+		// Flip a bit in every region: magic, header counts, string table,
+		// keys, confidences, varint columns, trailer.
+		offsets := []int{
+			0, 9, binHeaderLen - 1, binHeaderLen + 3,
+			len(raw) / 4, len(raw) / 2, 3 * len(raw) / 4,
+			len(raw) - binTrailerLen - 1, len(raw) - 1,
+		}
+		for _, off := range offsets {
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= 0x10
+			if _, err := ReadBinarySnapshot(bytes.NewReader(mut)); err == nil {
+				t.Errorf("bit flip at offset %d/%d accepted", off, len(raw))
+			}
+		}
+	})
+
+	t.Run("torn prefixes", func(t *testing.T) {
+		for _, n := range []int{0, 1, len(binMagic), binHeaderLen,
+			binHeaderLen + binTrailerLen, len(raw) / 3, len(raw) - 1} {
+			if _, err := ReadBinarySnapshot(bytes.NewReader(raw[:n])); err == nil {
+				t.Errorf("torn prefix of %d/%d bytes accepted", n, len(raw))
+			}
+		}
+	})
+
+	t.Run("trailing garbage", func(t *testing.T) {
+		mut := append(append([]byte(nil), raw...), 0xFF)
+		if _, err := ReadBinarySnapshot(bytes.NewReader(mut)); err == nil {
+			t.Error("trailing byte accepted")
+		}
+	})
+
+	t.Run("wrong magic", func(t *testing.T) {
+		if _, err := ReadBinarySnapshot(strings.NewReader("notasnap" + string(raw[8:]))); err == nil {
+			t.Error("wrong magic accepted")
+		}
+	})
+}
+
+// TestBinarySnapshotFileAndOpen exercises the file-level paths: atomic
+// write, sniffing in ReadSnapshotFile, layout selection in
+// OpenSnapshotFile and the uniform VerifySnapshotFile description.
+func TestBinarySnapshotFileAndOpen(t *testing.T) {
+	sh := binTestSharded(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kb.akb3")
+	if err := sh.WriteBinarySnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := VerifySnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Codec != SnapshotCodecBinary || info.Version != BinarySnapshotVersion ||
+		info.Facts != sh.Len() || info.Shards != sh.ShardCount() || info.ChecksumStatus() != "verified" {
+		t.Errorf("VerifySnapshotFile info = %+v", info)
+	}
+
+	// ReadSnapshotFile flattens transparently.
+	flat, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flat.Facts(), sh.Facts()) {
+		t.Error("ReadSnapshotFile(binary) differs from source facts")
+	}
+
+	// OpenSnapshotFile layout knob: 0 keeps segments, 1 flattens, N re-shards.
+	for _, tc := range []struct {
+		shards    int
+		wantCount int
+		flat      bool
+	}{
+		{0, sh.ShardCount(), false},
+		{1, 1, true},
+		{6, 6, false},
+	} {
+		q, _, err := OpenSnapshotFile(path, tc.shards)
+		if err != nil {
+			t.Fatalf("OpenSnapshotFile(shards=%d): %v", tc.shards, err)
+		}
+		if got, ok := q.(*Sharded); ok != !tc.flat {
+			t.Errorf("OpenSnapshotFile(shards=%d) flat=%v, want flat=%v", tc.shards, !ok, tc.flat)
+		} else if ok && got.ShardCount() != tc.wantCount {
+			t.Errorf("OpenSnapshotFile(shards=%d) has %d shards, want %d", tc.shards, got.ShardCount(), tc.wantCount)
+		}
+		if q.Len() != sh.Len() {
+			t.Errorf("OpenSnapshotFile(shards=%d) Len = %d, want %d", tc.shards, q.Len(), sh.Len())
+		}
+	}
+}
+
+// TestBinaryVsJSONSizeAtScale is the acceptance criterion's compression
+// proof: at ~×100 KB scale the binary snapshot must be at least 3× smaller
+// than the JSON codec on the same facts. Ground-truth world facts stand in
+// for a ×100 pipeline run so the test stays fast.
+func TestBinaryVsJSONSizeAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large synthetic world")
+	}
+	// DefaultConfig serves ~3k facts; 2000 entities/class × 6 attrs ≈ 130k
+	// facts — two orders of magnitude up.
+	w := kb.NewWorld(kb.WorldConfig{Seed: 1, EntitiesPerClass: 2000, AttrsPerEntity: 6})
+	facts := WorldFacts(w)
+	if len(facts) < 100_000 {
+		t.Fatalf("scaled world produced only %d facts; not a ×100 test", len(facts))
+	}
+	sh := NewSharded(facts, DefaultShards)
+
+	var binSize, jsonSize countingWriter
+	if err := sh.WriteBinarySnapshot(&binSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Flatten().WriteSnapshot(&jsonSize); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(jsonSize) / float64(binSize)
+	t.Logf("%d facts: JSON %d bytes, binary %d bytes, ratio %.1fx", len(facts), jsonSize, binSize, ratio)
+	if ratio < 3 {
+		t.Errorf("binary snapshot only %.2fx smaller than JSON, want >= 3x", ratio)
+	}
+}
+
+type countingWriter int64
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}
+
+func BenchmarkBinarySnapshot(b *testing.B) {
+	w := kb.NewWorld(kb.WorldConfig{Seed: 1, EntitiesPerClass: 400, AttrsPerEntity: 6})
+	sh := NewSharded(WorldFacts(w), DefaultShards)
+	var buf bytes.Buffer
+	if err := sh.WriteBinarySnapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.Run(fmt.Sprintf("write/facts=%d", sh.Len()), func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			var c countingWriter
+			if err := sh.WriteBinarySnapshot(&c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("read/facts=%d", sh.Len()), func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			if _, err := ReadBinarySnapshot(bytes.NewReader(raw)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

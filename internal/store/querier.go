@@ -23,4 +23,20 @@ type Querier interface {
 	Lookup(q Query) []Fact
 }
 
-var _ Querier = (*Store)(nil)
+// LimitedQuerier is the optional fast path for capped queries: LookupN
+// returns at most limit facts (the first in canonical order) plus the
+// true total match count. The serving layer type-asserts for it so a
+// sharded store can push the result cap down to every shard; queriers
+// that do not implement it (e.g. the chaos wrapper) fall back to a full
+// Lookup plus truncation, with identical output.
+type LimitedQuerier interface {
+	Querier
+	// LookupN answers q with at most limit facts and the total match
+	// count; limit <= 0 means unlimited.
+	LookupN(q Query, limit int) (facts []Fact, total int)
+}
+
+var (
+	_ LimitedQuerier = (*Store)(nil)
+	_ LimitedQuerier = (*Sharded)(nil)
+)

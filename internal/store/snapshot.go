@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 )
 
 // Snapshot format constants. The codec is deterministic: facts serialise
@@ -59,12 +58,36 @@ func factsChecksum(facts []Fact) (string, error) {
 	return checksumPrefix + hex.EncodeToString(sum[:]), nil
 }
 
-// SnapshotInfo describes a verified snapshot; see VerifySnapshotFile.
+// Snapshot codec names, as reported by SnapshotInfo.Codec.
+const (
+	// SnapshotCodecJSON is the versions-1-and-2 JSON codec.
+	SnapshotCodecJSON = "json"
+	// SnapshotCodecBinary is the version-3 columnar binary codec.
+	SnapshotCodecBinary = "binary"
+)
+
+// SnapshotInfo describes a verified snapshot uniformly across every
+// codec version; see VerifySnapshotFile.
 type SnapshotInfo struct {
-	Path     string `json:"path,omitempty"`
-	Version  int    `json:"version"`
-	Facts    int    `json:"facts"`
+	Path    string `json:"path,omitempty"`
+	Codec   string `json:"codec"`
+	Version int    `json:"version"`
+	Facts   int    `json:"facts"`
+	// Shards is the stored shard count: 1 for JSON snapshots (a single
+	// store), the segment count for binary ones.
+	Shards   int    `json:"shards"`
 	Checksum string `json:"checksum,omitempty"`
+}
+
+// ChecksumStatus renders the integrity outcome uniformly: "verified"
+// when the codec carries a checksum that matched, "none" for version-1
+// files that predate checksums. (A mismatch never reaches an info — the
+// verify path errors instead.)
+func (i SnapshotInfo) ChecksumStatus() string {
+	if i.Checksum == "" {
+		return "none"
+	}
+	return "verified"
 }
 
 // WriteSnapshot serialises the store.
@@ -87,7 +110,7 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 // validate checks a decoded snapshot's header, count and (v2+) checksum,
 // returning its description. Shared by ReadSnapshot and the verify path.
 func (sf *snapshotFile) validate() (SnapshotInfo, error) {
-	info := SnapshotInfo{Version: sf.Version, Facts: len(sf.Facts), Checksum: sf.Checksum}
+	info := SnapshotInfo{Codec: SnapshotCodecJSON, Version: sf.Version, Facts: len(sf.Facts), Shards: 1, Checksum: sf.Checksum}
 	if sf.Format != SnapshotFormat {
 		return info, fmt.Errorf("store: not an akb snapshot (format %q, want %q)", sf.Format, SnapshotFormat)
 	}
@@ -133,31 +156,8 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 // any point leaves either the previous file intact or a stray .tmp file
 // that can never pass verification as the target — never a torn or
 // half-new snapshot under the real name.
-func (s *Store) WriteSnapshotFile(path string) (err error) {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("store: snapshot temp file: %w", err)
-	}
-	tmp := f.Name()
-	defer func() {
-		if err != nil {
-			os.Remove(tmp)
-		}
-	}()
-	if err = writeSyncClose(f, s.WriteSnapshot); err != nil {
-		return fmt.Errorf("store: write snapshot %s: %w", path, err)
-	}
-	if err = os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("store: publish snapshot: %w", err)
-	}
-	// Durability of the rename itself requires the directory entry to hit
-	// disk; best-effort, since not every platform lets you fsync a dir.
-	if d, derr := os.Open(dir); derr == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+func (s *Store) WriteSnapshotFile(path string) error {
+	return atomicWriteFile(path, s.WriteSnapshot)
 }
 
 // syncWriteCloser is the slice of *os.File the snapshot writer needs;
@@ -180,13 +180,38 @@ func writeSyncClose(f syncWriteCloser, write func(io.Writer) error) error {
 	return errors.Join(werr, serr, f.Close())
 }
 
-// ReadSnapshotFile loads a snapshot from a file.
+// sniffBinarySnapshot reports whether the file starts with the binary
+// codec's magic. JSON snapshots start with '{', so the 8-byte magic
+// disambiguates every valid snapshot; a file too short to carry either
+// is simply "not binary" and fails in the JSON decoder with a clear
+// error.
+func sniffBinarySnapshot(f *os.File) (bool, error) {
+	var magic [len(binMagic)]byte
+	n, err := f.ReadAt(magic[:], 0)
+	if err != nil && n < len(magic) {
+		return false, nil
+	}
+	return string(magic[:]) == binMagic, nil
+}
+
+// ReadSnapshotFile loads a snapshot from a file into a single flat
+// store, whichever codec version wrote it: JSON (versions 1 and 2)
+// directly, binary (version 3) by merging the shard segments. Callers
+// that want to preserve — or impose — a sharded layout use
+// OpenSnapshotFile instead.
 func ReadSnapshotFile(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	if bin, _ := sniffBinarySnapshot(f); bin {
+		sh, err := ReadBinarySnapshot(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return sh.Flatten(), nil
+	}
 	st, err := ReadSnapshot(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
@@ -194,16 +219,78 @@ func ReadSnapshotFile(path string) (*Store, error) {
 	return st, nil
 }
 
+// OpenSnapshotFile loads any snapshot version into a servable querier.
+// shards picks the serving layout: 0 keeps the snapshot's own layout (a
+// binary file's stored segments; DefaultShards for a JSON file), 1
+// forces a single flat store, and any larger value re-partitions into
+// that many shards. The returned info describes the file as stored, not
+// the serving layout.
+func OpenSnapshotFile(path string, shards int) (Querier, SnapshotInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, SnapshotInfo{Path: path}, err
+	}
+	defer f.Close()
+	bin, _ := sniffBinarySnapshot(f)
+	if bin {
+		sh, err := ReadBinarySnapshot(f)
+		if err != nil {
+			return nil, SnapshotInfo{Path: path}, fmt.Errorf("%s: %w", path, err)
+		}
+		info := SnapshotInfo{
+			Path: path, Codec: SnapshotCodecBinary, Version: BinarySnapshotVersion,
+			Facts: sh.Len(), Shards: sh.ShardCount(),
+		}
+		switch {
+		case shards == 1:
+			return sh.Flatten(), info, nil
+		case shards > 1 && shards != sh.ShardCount():
+			return NewSharded(sh.Facts(), shards), info, nil
+		default:
+			return sh, info, nil
+		}
+	}
+	var sf snapshotFile
+	if err := json.NewDecoder(f).Decode(&sf); err != nil {
+		return nil, SnapshotInfo{Path: path}, fmt.Errorf("%s: store: decode snapshot: %w", path, err)
+	}
+	info, err := sf.validate()
+	info.Path = path
+	if err != nil {
+		return nil, info, fmt.Errorf("%s: %w", path, err)
+	}
+	if shards == 0 {
+		shards = DefaultShards
+	}
+	if shards == 1 {
+		return New(sf.Facts), info, nil
+	}
+	return NewSharded(sf.Facts, shards), info, nil
+}
+
 // VerifySnapshotFile checks a snapshot's integrity — header, fact count
-// and (v2+) checksum — without building indexes, and reports what it
-// found. It backs `akb snapshot verify` and the pre-swap validation of
-// the server's hot reload.
+// and checksum, whichever codec version wrote it — without building
+// indexes, and reports what it found uniformly (codec, version, fact
+// count, shard count, checksum). It backs `akb snapshot verify|info` and
+// the pre-swap validation of the server's hot reload.
 func VerifySnapshotFile(path string) (SnapshotInfo, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return SnapshotInfo{Path: path}, err
 	}
 	defer f.Close()
+	if bin, _ := sniffBinarySnapshot(f); bin {
+		data, err := io.ReadAll(f)
+		if err != nil {
+			return SnapshotInfo{Path: path}, fmt.Errorf("%s: store: read snapshot: %w", path, err)
+		}
+		info, err := verifyBinarySnapshot(data)
+		info.Path = path
+		if err != nil {
+			return info, fmt.Errorf("%s: %w", path, err)
+		}
+		return info, nil
+	}
 	var sf snapshotFile
 	if err := json.NewDecoder(f).Decode(&sf); err != nil {
 		return SnapshotInfo{Path: path}, fmt.Errorf("%s: store: decode snapshot: %w", path, err)

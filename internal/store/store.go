@@ -23,6 +23,7 @@ import (
 
 	"akb/internal/core"
 	"akb/internal/extract"
+	"akb/internal/kb"
 )
 
 // Fact is one accepted (entity, attribute, value) triple of the fused KB,
@@ -125,9 +126,16 @@ func New(facts []Fact) *Store {
 // every fusion decision, annotated with the entity's class and the
 // value's hierarchy ancestors from the result's world.
 func FromResult(res *core.Result) *Store {
+	return New(ResultFacts(res))
+}
+
+// ResultFacts extracts the fused facts of a pipeline result without
+// building indexes — the shared input of FromResult and
+// ShardedFromResult.
+func ResultFacts(res *core.Result) []Fact {
 	fused := res.Fused()
 	if fused == nil {
-		return New(nil)
+		return nil
 	}
 	var facts []Fact
 	for _, d := range fused.Decisions {
@@ -159,8 +167,44 @@ func FromResult(res *core.Result) *Store {
 			})
 		}
 	}
-	return New(facts)
+	return facts
 }
+
+// WorldFacts materialises a ground-truth world as store facts: one fact
+// per true (entity, attribute, value) with full confidence and the
+// value's hierarchy ancestors. It bypasses extraction and fusion, so
+// benchmarks and load tests can build KB-scale stores in milliseconds —
+// a store of *true* facts, shaped exactly like a fused one.
+func WorldFacts(w *kb.World) []Fact {
+	var facts []Fact
+	for _, class := range w.Ontology.ClassNames() {
+		for _, e := range w.EntitiesOf(class) {
+			attrs := make([]string, 0, len(e.Values))
+			for a := range e.Values {
+				attrs = append(attrs, a)
+			}
+			sort.Strings(attrs)
+			for _, a := range attrs {
+				for _, v := range e.Values[a] {
+					facts = append(facts, Fact{
+						Entity:     e.Name,
+						Class:      class,
+						Attr:       a,
+						Value:      v,
+						Confidence: 1,
+						Sources:    1,
+						Ancestors:  w.Hier.Ancestors(v),
+					})
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// FromWorld builds a store over a world's ground-truth facts; see
+// WorldFacts.
+func FromWorld(w *kb.World) *Store { return New(WorldFacts(w)) }
 
 // Len returns the number of facts.
 func (s *Store) Len() int { return len(s.facts) }
@@ -189,12 +233,11 @@ func (s *Store) Triples(entity, attr string) []Fact {
 	return s.gather(s.byEntityAttr[entityAttrKey(entity, attr)], Query{})
 }
 
-// Lookup answers a query through the most selective index available, then
-// filters the candidate list on the remaining fields. Its output is
-// always identical to Scan's; only the cost differs.
-func (s *Store) Lookup(q Query) []Fact {
-	var cand []int32
-	rest := q
+// candidates resolves the most selective postings list for q and strips
+// the fields that list already guarantees. all reports the wildcard
+// query, whose answer is every fact.
+func (s *Store) candidates(q Query) (cand []int32, rest Query, all bool) {
+	rest = q
 	switch {
 	case q.Entity != "" && q.Attr != "":
 		cand = s.byEntityAttr[entityAttrKey(q.Entity, q.Attr)]
@@ -215,11 +258,56 @@ func (s *Store) Lookup(q Query) []Fact {
 		cand = s.byValue[q.Value]
 		rest.Value = ""
 	default:
+		return nil, rest, true
+	}
+	return cand, rest, false
+}
+
+// Lookup answers a query through the most selective index available, then
+// filters the candidate list on the remaining fields. Its output is
+// always identical to Scan's; only the cost differs.
+func (s *Store) Lookup(q Query) []Fact {
+	cand, rest, all := s.candidates(q)
+	if all {
 		out := make([]Fact, len(s.facts))
 		copy(out, s.facts)
 		return out
 	}
 	return s.gather(cand, rest)
+}
+
+// LookupN answers a query like Lookup but materialises at most limit
+// facts (the first ones in canonical order) while still counting every
+// match. limit <= 0 means unlimited. It backs the serving layer's
+// result cap: the response needs only the first page plus the true
+// total, so the tail is counted, never copied.
+func (s *Store) LookupN(q Query, limit int) (out []Fact, total int) {
+	if limit <= 0 {
+		out = s.Lookup(q)
+		return out, len(out)
+	}
+	cand, rest, all := s.candidates(q)
+	if all {
+		total = len(s.facts)
+		n := limit
+		if n > total {
+			n = total
+		}
+		out = make([]Fact, n)
+		copy(out, s.facts[:n])
+		return out, total
+	}
+	for _, i := range cand {
+		f := s.facts[i]
+		if !matches(f, rest) {
+			continue
+		}
+		total++
+		if len(out) < limit {
+			out = append(out, f)
+		}
+	}
+	return out, total
 }
 
 // Scan answers a query by brute force over every fact. It is the

@@ -103,6 +103,33 @@ func TestNewDeduplicatesAndSorts(t *testing.T) {
 	}
 }
 
+// TestLookupN pins the capped-lookup contract on the flat store: the
+// returned facts are the first `limit` of Lookup's answer, the total is
+// the full match count, and non-positive limits mean unlimited.
+func TestLookupN(t *testing.T) {
+	s := New(testFacts())
+	queries := []Query{
+		{}, {Entity: "Casablanca"}, {Class: "Film"}, {Attr: "language"},
+		{Value: "China"}, {Entity: "missing"},
+	}
+	for _, q := range queries {
+		full := s.Lookup(q)
+		for _, limit := range []int{-1, 0, 1, 2, len(full), len(full) + 10} {
+			got, total := s.LookupN(q, limit)
+			if total != len(full) {
+				t.Errorf("LookupN(%+v, %d) total = %d, want %d", q, limit, total, len(full))
+			}
+			want := full
+			if limit > 0 && limit < len(full) {
+				want = full[:limit]
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("LookupN(%+v, %d) = %+v, want %+v", q, limit, got, want)
+			}
+		}
+	}
+}
+
 // smallPipeline runs a scaled-down end-to-end pipeline for integration
 // tests; the result is cached per test binary since multiple tests want it.
 var smallPipeline = sync.OnceValues(func() (*core.Result, error) {
