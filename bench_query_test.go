@@ -1,0 +1,141 @@
+// Datalog planner benchmark: the greedy selectivity-ordered plan against
+// the naive query-order plan on an adversarially skewed store, across
+// serving layouts. Writes BENCH_query.json which CI archives per commit
+// and gates on (greedy must be >=2x naive). Run with:
+//
+//	go test -bench=Datalog -benchtime=50x
+package akb_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"akb/internal/datalog"
+	"akb/internal/obs"
+	"akb/internal/store"
+)
+
+// skewedFacts builds the planner's adversarial case: one attribute with a
+// huge postings list, one with a tiny one, joined on the entity. A naive
+// left-to-right execution of `?x wide ?v . ?x narrow ?w` scans every wide
+// fact and probes narrow per binding; the greedy plan leads with the
+// narrow postings list and probes wide only for the handful of entities
+// that can match.
+func skewedFacts() []store.Fact {
+	const wide, narrow = 20000, 8
+	facts := make([]store.Fact, 0, wide+narrow)
+	for i := 0; i < wide; i++ {
+		facts = append(facts, store.Fact{
+			Entity: fmt.Sprintf("entity-%05d", i), Class: "Thing",
+			Attr: "wide", Value: fmt.Sprintf("w-%05d", i), Confidence: 0.9,
+		})
+	}
+	for i := 0; i < narrow; i++ {
+		facts = append(facts, store.Fact{
+			Entity: fmt.Sprintf("entity-%05d", i*1000), Class: "Thing",
+			Attr: "narrow", Value: fmt.Sprintf("n-%d", i), Confidence: 0.9,
+		})
+	}
+	return facts
+}
+
+var benchDatalogFacts = sync.OnceValue(skewedFacts)
+
+// BenchmarkDatalog runs the same conjunctive query under both plans on
+// the flat and sharded layouts, plus the parallel executor, and records
+// ns/op, index probes and the greedy speedup into BENCH_query.json.
+func BenchmarkDatalog(b *testing.B) {
+	q, err := datalog.Parse(`?x wide ?v . ?x narrow ?w`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	facts := benchDatalogFacts()
+	type layout struct {
+		name string
+		src  store.Querier
+	}
+	layouts := []layout{
+		{"flat", store.New(facts)},
+		{fmt.Sprintf("sharded-%d", store.DefaultShards), store.NewSharded(facts, store.DefaultShards)},
+	}
+	ctx := context.Background()
+	rows := make([]map[string]any, 0, len(layouts))
+	for _, l := range layouts {
+		nsPerOp := map[string]int64{}
+		probes := map[string]int64{}
+		for _, sub := range []struct {
+			name string
+			opts datalog.Options
+		}{
+			{"greedy", datalog.Options{}},
+			{"naive", datalog.Options{Naive: true}},
+			{"greedy-parallel-4", datalog.Options{Parallelism: 4}},
+		} {
+			sub := sub
+			b.Run(fmt.Sprintf("%s/%s", l.name, sub.name), func(b *testing.B) {
+				b.ReportAllocs()
+				start := time.Now()
+				var res *datalog.Result
+				for i := 0; i < b.N; i++ {
+					res, err = datalog.Run(ctx, l.src, q, sub.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Total != 8 {
+						b.Fatalf("total = %d, want 8", res.Total)
+					}
+				}
+				nsPerOp[sub.name] = time.Since(start).Nanoseconds() / int64(b.N)
+				probes[sub.name] = res.Probes
+			})
+		}
+		greedy, naive := nsPerOp["greedy"], nsPerOp["naive"]
+		if greedy == 0 || naive == 0 {
+			return
+		}
+		rows = append(rows, map[string]any{
+			"layout":              l.name,
+			"greedy_ns_per_op":    greedy,
+			"naive_ns_per_op":     naive,
+			"parallel4_ns_per_op": nsPerOp["greedy-parallel-4"],
+			"greedy_probes":       probes["greedy"],
+			"naive_probes":        probes["naive"],
+			"speedup":             float64(naive) / float64(greedy),
+		})
+	}
+	writeBenchQuery(b, map[string]any{
+		"query":   q.String(),
+		"facts":   len(facts),
+		"matches": 8,
+		"rows":    rows,
+	})
+}
+
+// writeBenchQuery read-modify-writes the datalog section of
+// BENCH_query.json, following the BENCH_serve.json convention so future
+// query benchmarks can add sections without clobbering this one.
+func writeBenchQuery(b *testing.B, v any) {
+	b.Helper()
+	out := map[string]json.RawMessage{}
+	if raw, err := os.ReadFile("BENCH_query.json"); err == nil {
+		_ = json.Unmarshal(raw, &out)
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out["datalog"] = raw
+	f, err := os.Create("BENCH_query.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := obs.WriteJSON(f, out); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -61,10 +61,10 @@ func mergeBenchServe(b *testing.B, section string, v any) {
 
 // benchQueries is a representative query mix over the fused KB: point
 // lookups, per-class sweeps and hierarchy-aware value matches.
-func benchQueries(st *store.Store) []store.Query {
+func benchQueries(st *store.Store) []store.Pattern {
 	facts := st.Facts()
 	ent, attr := facts[0].Entity, facts[0].Attr
-	qs := []store.Query{
+	qs := []store.Pattern{
 		{Entity: ent},
 		{Entity: ent, Attr: attr},
 		{Class: st.Classes()[0], Attr: attr},
@@ -72,7 +72,7 @@ func benchQueries(st *store.Store) []store.Query {
 	}
 	for _, f := range facts {
 		if len(f.Ancestors) > 0 {
-			qs = append(qs, store.Query{Value: f.Ancestors[len(f.Ancestors)-1]})
+			qs = append(qs, store.Pattern{Value: f.Ancestors[len(f.Ancestors)-1]})
 			break
 		}
 	}
@@ -93,8 +93,8 @@ func BenchmarkStoreLookup(b *testing.B) {
 	qs := benchQueries(flat)
 	type layout struct {
 		shards int
-		lookup func(q store.Query) []store.Fact
-		scan   func(q store.Query) []store.Fact
+		lookup func(q store.Pattern) []store.Fact
+		scan   func(q store.Pattern) []store.Fact
 	}
 	sharded := store.NewSharded(flat.Facts(), store.DefaultShards)
 	layouts := []layout{
@@ -106,7 +106,7 @@ func BenchmarkStoreLookup(b *testing.B) {
 		nsPerOp := map[string]int64{}
 		for _, sub := range []struct {
 			name string
-			run  func(q store.Query) []store.Fact
+			run  func(q store.Pattern) []store.Fact
 		}{
 			{"indexed", l.lookup},
 			{"scan", l.scan},

@@ -18,6 +18,9 @@
 //	domsweep   Algorithm 1 behaviour sweep (sites, seeds, threshold)
 //	fusion     fusion-method comparison on pipeline and copier workloads
 //	ablation   design-choice ablations (hierarchy, correlation, confidence)
+//	query      query the fused KB — single patterns or conjunctive datalog
+//	           joins — against a snapshot, an inline pipeline run, or a
+//	           live server (flags: -snapshot, -server, -explain)
 //	serve      serve the fused KB over an HTTP query API (flag: -snapshot)
 //	profile    run the pipeline under CPU+heap profiling; writes .pprof files
 //	           plus a per-stage attribution table (flag: -out)
@@ -61,7 +64,8 @@ func commands() []command {
 		{"granularity", "provenance granularity comparison", cmdGranularity},
 		{"scale", "pipeline cost vs world size", cmdScale},
 		{"chaos", "fault-injection sweep: degradation vs failure rate", cmdChaos},
-		{"show", "print fused knowledge about one entity", cmdShow},
+		{"query", "query the fused KB: patterns and conjunctive datalog joins", cmdQuery},
+		{"show", "print fused knowledge about one entity (deprecated: use akb query)", cmdShow},
 		{"serve", "serve the fused KB over an HTTP query API", cmdServe},
 		{"profile", "run the pipeline under CPU+heap profiling with per-stage attribution", cmdProfile},
 		{"snapshot", "verify / inspect / convert store snapshot files", cmdSnapshot},

@@ -167,7 +167,7 @@ func cmdServe(args []string) error {
 		}
 	}()
 
-	fmt.Fprintf(os.Stderr, "listening on %s (GET /healthz, /readyz, /metrics [?format=prom], /v1/entity/{id}, /v1/triples/{entity}/{attr}, /v1/query; POST /v1/admin/reload; SIGHUP reloads)\n", cfg.Addr)
+	fmt.Fprintf(os.Stderr, "listening on %s (GET /healthz, /readyz, /metrics [?format=prom], /v1/entity/{id}, /v1/triples/{entity}/{attr}, /v1/query; POST /v1/datalog, /v1/admin/reload; SIGHUP reloads)\n", cfg.Addr)
 	if err := srv.ListenAndServe(ctx); err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
@@ -10,7 +11,11 @@ import (
 	"akb/internal/extract"
 )
 
+// cmdShow is kept for compatibility; `akb query` is the one query
+// command (patterns, joins, snapshots, live servers) and should be
+// preferred.
 func cmdShow(args []string) error {
+	fmt.Fprintln(os.Stderr, "note: akb show is deprecated; use `akb query -entity <name>` (see akb query -h) — it also answers joins, snapshots and live servers")
 	fs, seed := newFlagSet("show")
 	if err := fs.Parse(args); err != nil {
 		return err

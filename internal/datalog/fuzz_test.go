@@ -1,0 +1,51 @@
+package datalog_test
+
+import (
+	"reflect"
+	"testing"
+
+	"akb/internal/datalog"
+)
+
+// FuzzParse drives the surface-grammar parser with arbitrary input and
+// holds two invariants on every accepted query: it validates, and it
+// round-trips through String — rendering and re-parsing yields the
+// identical Query. Run the finder with:
+//
+//	go test -fuzz FuzzParse ./internal/datalog
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"?f director ?d",
+		`?f:Film "country of origin" ?c . ?f award ?a`,
+		"?x a ?v\n?y a ?v .",
+		`"Casa \"Blanca\"" has "a . dot\nand \\ slash"`,
+		"?e rating 3.5",
+		"?x ?x ?x",
+		"e a v",
+		`"" a v`,
+		"? a b",
+		"?x:",
+		`a b "unterminated`,
+		"?a ?b ?c . ?d ?e ?f . ?g ?h ?i",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := datalog.Parse(input)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("Parse(%q) accepted a query that fails Validate: %v", input, err)
+		}
+		rendered := q.String()
+		again, err := datalog.Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) = %+v, whose rendering %q does not re-parse: %v", input, q, rendered, err)
+		}
+		if !reflect.DeepEqual(q, again) {
+			t.Fatalf("round trip changed the query:\n in: %q\n 1st: %+v\n via: %q\n 2nd: %+v", input, q, rendered, again)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads the surface grammar for conjunctive queries:
+//
+//	?f:Film director ?d . ?f "country of origin" ?c
+//
+// One clause is three whitespace-separated terms — entity, attribute,
+// value. A term starting with '?' is a variable (letters, digits and
+// underscores); anything else is a constant, double-quoted when it
+// contains spaces or metacharacters (inside quotes, \" \\ and \n are
+// the escapes). An entity variable may carry a class restriction after a
+// colon (?f:Film). Clauses are separated by a free-standing '.' or a
+// newline; a trailing separator is allowed.
+//
+// Parse returns only the conjunction; Select and Limit are carried
+// out-of-band (flags on akb query, fields of the /v1/datalog body).
+func Parse(text string) (Query, error) {
+	toks, err := lex(text)
+	if err != nil {
+		return Query{}, err
+	}
+	var q Query
+	var terms []token
+	clauseNum := 1
+	flush := func() error {
+		if len(terms) == 0 {
+			return nil
+		}
+		if len(terms) != 3 {
+			return fmt.Errorf("datalog: clause %d: want 3 terms (entity attr value), got %d", clauseNum, len(terms))
+		}
+		c, err := clauseOf(terms, clauseNum)
+		if err != nil {
+			return err
+		}
+		q.Clauses = append(q.Clauses, c)
+		terms = terms[:0]
+		clauseNum++
+		return nil
+	}
+	for _, t := range toks {
+		if t.sep {
+			if err := flush(); err != nil {
+				return Query{}, err
+			}
+			continue
+		}
+		terms = append(terms, t)
+	}
+	if err := flush(); err != nil {
+		return Query{}, err
+	}
+	if len(q.Clauses) == 0 {
+		return Query{}, fmt.Errorf("datalog: empty query")
+	}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// token is one lexed unit: a term's text or a clause separator.
+type token struct {
+	text   string
+	quoted bool
+	sep    bool
+}
+
+// lex splits the input into term and separator tokens. A '.' separates
+// clauses only when it stands alone (whitespace-delimited), so constants
+// like 3.5 survive unquoted; newlines always separate.
+func lex(text string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(text) {
+		switch c := text[i]; {
+		case c == '\n':
+			toks = append(toks, token{sep: true})
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '"':
+			word, rest, err := lexQuoted(text[i:])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{text: word, quoted: true})
+			i += rest
+		default:
+			start := i
+			for i < len(text) && !strings.ContainsRune(" \t\r\n", rune(text[i])) {
+				i++
+			}
+			word := text[start:i]
+			if word == "." {
+				toks = append(toks, token{sep: true})
+			} else {
+				toks = append(toks, token{text: word})
+			}
+		}
+	}
+	return toks, nil
+}
+
+// lexQuoted reads a double-quoted constant starting at s[0] == '"'. It
+// returns the unescaped text and how many input bytes were consumed.
+func lexQuoted(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("datalog: dangling escape at end of input")
+			}
+			i++
+			switch e := s[i]; e {
+			case '"', '\\':
+				b.WriteByte(e)
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("datalog: unsupported escape \\%c in quoted constant", e)
+			}
+		case '\n':
+			return "", 0, fmt.Errorf("datalog: newline inside quoted constant")
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", 0, fmt.Errorf("datalog: unterminated quoted constant")
+}
+
+// clauseOf builds a clause from three term tokens, handling variable
+// syntax and the entity position's class restriction.
+func clauseOf(terms []token, n int) (Clause, error) {
+	var c Clause
+	for pos, t := range terms {
+		term, class, err := termOf(t, pos, n)
+		if err != nil {
+			return Clause{}, err
+		}
+		switch pos {
+		case 0:
+			c.Entity, c.Class = term, class
+		case 1:
+			c.Attr = term
+		case 2:
+			c.Value = term
+		}
+	}
+	return c, nil
+}
+
+// termOf interprets one token at clause position pos (0=entity, 1=attr,
+// 2=value).
+func termOf(t token, pos, n int) (Term, string, error) {
+	if t.quoted || !strings.HasPrefix(t.text, "?") {
+		if t.text == "" && !t.quoted {
+			return Term{}, "", fmt.Errorf("datalog: clause %d: empty %s term", n, posName(pos))
+		}
+		return C(t.text), "", nil
+	}
+	name := t.text[1:]
+	class := ""
+	if at := strings.IndexByte(name, ':'); at >= 0 {
+		if pos != 0 {
+			return Term{}, "", fmt.Errorf("datalog: clause %d: class restriction %q only allowed on the entity position", n, t.text)
+		}
+		name, class = name[:at], name[at+1:]
+		if class == "" {
+			return Term{}, "", fmt.Errorf("datalog: clause %d: empty class restriction in %q", n, t.text)
+		}
+	}
+	if name == "" {
+		return Term{}, "", fmt.Errorf("datalog: clause %d: bare '?' is not a variable name", n)
+	}
+	for _, r := range name {
+		if !isVarRune(r) {
+			return Term{}, "", fmt.Errorf("datalog: clause %d: invalid variable character %q in %q", n, r, t.text)
+		}
+	}
+	return V(name), class, nil
+}
+
+func isVarRune(r rune) bool {
+	return r == '_' || (r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}

@@ -1,0 +1,143 @@
+package datalog_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"akb/internal/datalog"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want datalog.Query
+	}{
+		{
+			"?f director ?d",
+			datalog.Query{Clauses: []datalog.Clause{
+				{Entity: datalog.V("f"), Attr: datalog.C("director"), Value: datalog.V("d")},
+			}},
+		},
+		{
+			`?f:Film "country of origin" ?c . ?g "country of origin" ?c`,
+			datalog.Query{Clauses: []datalog.Clause{
+				{Entity: datalog.V("f"), Attr: datalog.C("country of origin"), Value: datalog.V("c"), Class: "Film"},
+				{Entity: datalog.V("g"), Attr: datalog.C("country of origin"), Value: datalog.V("c")},
+			}},
+		},
+		{
+			// Newlines separate clauses; a trailing separator is allowed.
+			"?e rating 3.5\n?e ?a ?v .",
+			datalog.Query{Clauses: []datalog.Clause{
+				{Entity: datalog.V("e"), Attr: datalog.C("rating"), Value: datalog.C("3.5")},
+				{Entity: datalog.V("e"), Attr: datalog.V("a"), Value: datalog.V("v")},
+			}},
+		},
+		{
+			// Quoted constants carry spaces, escapes, and grammar chars.
+			`"Casa \"Blanca\"" has "a . dot\nand \\ slash"`,
+			datalog.Query{Clauses: []datalog.Clause{
+				{Entity: datalog.C(`Casa "Blanca"`), Attr: datalog.C("has"), Value: datalog.C("a . dot\nand \\ slash")},
+			}},
+		},
+	}
+	for _, c := range cases {
+		got, err := datalog.Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) =\n%+v, want\n%+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	ins := []string{
+		"?f director ?d",
+		`?f:Film "country of origin" ?c . ?f award ?a`,
+		`"we?ird" "." "?notavar"`,
+		`e a "multi\nline \\ \" value"`,
+		"?x ?x ?x",
+	}
+	for _, in := range ins {
+		q, err := datalog.Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		again, err := datalog.Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", q.String(), err)
+		}
+		if !reflect.DeepEqual(q, again) {
+			t.Errorf("round trip of %q via %q changed the query:\n%+v vs %+v", in, q.String(), q, again)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"", "empty query"},
+		{"   \n  ", "empty query"},
+		{"?a ?b", "want 3 terms"},
+		{"?a ?b ?c ?d", "want 3 terms"},
+		{"? a b", "bare '?'"},
+		{"?x a ?y:Film", "only allowed on the entity position"},
+		{"?x: a b", "empty class restriction"},
+		{"?x-y a b", "invalid variable character"},
+		{`a b "unterminated`, "unterminated"},
+		{`a b "bad \q escape"`, `unsupported escape`},
+		{`a b "dangling\`, "dangling escape"},
+		{"a b \"newline\ninside\"", "newline inside quoted"},
+		{`a "" b`, "empty attr term"},
+		{strings.Repeat("?a ?b ?c . ", datalog.MaxClauses+1), "exceeds the limit"},
+	}
+	for _, c := range cases {
+		if _, err := datalog.Parse(c.in); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error = %v, want substring %q", c.in, err, c.wantSub)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := datalog.Query{Clauses: []datalog.Clause{
+		{Entity: datalog.V("e"), Attr: datalog.C("a"), Value: datalog.V("v")},
+	}}
+
+	q := base
+	q.Select = []string{"e", "v"}
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid select rejected: %v", err)
+	}
+	q.Select = []string{"ghost"}
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "appears in no clause") {
+		t.Errorf("unbound select error = %v", err)
+	}
+	q = base
+	q.Limit = -1
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "negative limit") {
+		t.Errorf("negative limit error = %v", err)
+	}
+	q = datalog.Query{Clauses: []datalog.Clause{{Entity: datalog.C("e"), Attr: datalog.C(""), Value: datalog.C("v")}}}
+	if err := q.Validate(); err == nil || !strings.Contains(err.Error(), "empty attr term") {
+		t.Errorf("empty term error = %v", err)
+	}
+	if err := (datalog.Query{}).Validate(); err == nil {
+		t.Error("empty query passed Validate")
+	}
+}
+
+func TestVarsOrder(t *testing.T) {
+	q, err := datalog.Parse("?b x ?a . ?a y ?c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.Vars(), []string{"b", "a", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Vars() = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"akb/internal/datalog"
+	"akb/internal/obs"
+)
+
+// maxDatalogBody bounds the /v1/datalog request body. Queries are a few
+// hundred bytes of text; a megabyte is already absurd.
+const maxDatalogBody = 1 << 20
+
+// maxDatalogParallelism bounds the per-request worker count a client may
+// ask for. Results are identical at any value; only resource use varies.
+const maxDatalogParallelism = 16
+
+// datalogRequest is the POST /v1/datalog body. Exactly one of Query
+// (the full surface grammar, clauses separated by '.' or newlines) and
+// Clauses (one clause per element) carries the conjunction.
+type datalogRequest struct {
+	Query       string   `json:"query,omitempty"`
+	Clauses     []string `json:"clauses,omitempty"`
+	Select      []string `json:"select,omitempty"`
+	Limit       int      `json:"limit,omitempty"`
+	Parallelism int      `json:"parallelism,omitempty"`
+	Explain     bool     `json:"explain,omitempty"`
+}
+
+// datalogResponse mirrors /v1/query's envelope: generation, count/total/
+// truncated semantics, plus the variable bindings as one object per row.
+type datalogResponse struct {
+	Generation uint64              `json:"generation"`
+	Query      string              `json:"query"`
+	Plan       []string            `json:"plan,omitempty"`
+	Vars       []string            `json:"vars"`
+	Count      int                 `json:"count"`
+	Total      int                 `json:"total"`
+	Truncated  bool                `json:"truncated,omitempty"`
+	Bindings   []map[string]string `json:"bindings"`
+}
+
+// handleDatalog answers conjunctive queries over the serving generation.
+// The engine streams bindings off the same querier every other route
+// reads, so results are consistent with /v1/query under hot reload and
+// identical across flat and sharded layouts.
+func (s *Server) handleDatalog(g *generation, r *http.Request) routeResult {
+	var req datalogRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxDatalogBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return errRes(http.StatusBadRequest, "invalid request body: %v", err)
+	}
+	if dec.More() {
+		return errRes(http.StatusBadRequest, "invalid request body: trailing data after the JSON object")
+	}
+
+	text := req.Query
+	switch {
+	case text != "" && len(req.Clauses) > 0:
+		return errRes(http.StatusBadRequest, "send either query or clauses, not both")
+	case text == "" && len(req.Clauses) == 0:
+		return errRes(http.StatusBadRequest, "one of query or clauses is required")
+	case len(req.Clauses) > 0:
+		text = strings.Join(req.Clauses, "\n")
+	}
+	q, err := datalog.Parse(text)
+	if err != nil {
+		return errRes(http.StatusBadRequest, "%v", err)
+	}
+	if req.Limit < 0 {
+		return errRes(http.StatusBadRequest, "invalid limit %d", req.Limit)
+	}
+	if req.Parallelism < 0 || req.Parallelism > maxDatalogParallelism {
+		return errRes(http.StatusBadRequest, "invalid parallelism %d (0..%d)", req.Parallelism, maxDatalogParallelism)
+	}
+	q.Select = req.Select
+	// The response cap mirrors /v1/query: the server ceiling applies
+	// unless the client asks for less; Total stays exact either way.
+	q.Limit = s.cfg.MaxResults
+	if req.Limit > 0 && req.Limit < q.Limit {
+		q.Limit = req.Limit
+	}
+
+	plan, err := datalog.PlanQuery(q, g.q)
+	if err != nil {
+		return errRes(http.StatusBadRequest, "%v", err)
+	}
+
+	ctx, span := obs.StartSpan(r.Context(), "datalog")
+	defer span.End()
+	span.Annotate("query", q.String())
+	start := time.Now()
+	res, err := datalog.RunPlan(ctx, g.q, q, plan, datalog.Options{Parallelism: req.Parallelism})
+	s.reg.Histogram("akb_datalog_latency_seconds", obs.ServeLatencyBuckets()).
+		Observe(time.Since(start).Seconds())
+	s.counter("akb_datalog_queries_total").Inc()
+	if err != nil {
+		span.RecordError(err)
+		if errors.Is(err, ctx.Err()) {
+			return errRes(http.StatusServiceUnavailable, "query cancelled: %v", err)
+		}
+		return errRes(http.StatusBadRequest, "%v", err)
+	}
+	s.counter("akb_datalog_rows_total").Add(int64(res.Total))
+	s.counter("akb_datalog_probes_total").Add(res.Probes)
+	span.AnnotateInt("rows", int64(res.Total))
+	span.AnnotateInt("probes", res.Probes)
+
+	out := datalogResponse{
+		Generation: g.num,
+		Query:      q.String(),
+		Vars:       res.Vars,
+		Count:      len(res.Rows),
+		Total:      res.Total,
+		Truncated:  res.Truncated,
+		Bindings:   make([]map[string]string, 0, len(res.Rows)),
+	}
+	if out.Vars == nil {
+		out.Vars = []string{}
+	}
+	if req.Explain {
+		for i, st := range plan.Steps {
+			out.Plan = append(out.Plan, fmt.Sprintf("%d. [%s, est %d] %s", i+1, st.Strategy, st.Estimate, st.Clause))
+		}
+	}
+	for _, row := range res.Rows {
+		b := make(map[string]string, len(res.Vars))
+		for i, v := range res.Vars {
+			b[v] = row[i]
+		}
+		out.Bindings = append(out.Bindings, b)
+	}
+	return routeResult{http.StatusOK, out}
+}

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"akb/internal/store"
+)
+
+func postDatalog(t *testing.T, url string, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/datalog", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad JSON %q: %v", raw, err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestDatalogRoute(t *testing.T) {
+	_, ts := testServer(t, DefaultConfig())
+
+	// A join: films and their directors' other facts via shared ?f.
+	status, body := postDatalog(t, ts.URL,
+		`{"query": "?f director ?d . ?f language ?l", "select": ["d", "l"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d body = %v", status, body)
+	}
+	if got := body["vars"]; !reflect.DeepEqual(got, []any{"d", "l"}) {
+		t.Errorf("vars = %v", got)
+	}
+	bindings := body["bindings"].([]any)
+	if len(bindings) != 2 || body["total"] != float64(2) || body["count"] != float64(2) {
+		t.Fatalf("bindings = %v total = %v", bindings, body["total"])
+	}
+	for _, b := range bindings {
+		m := b.(map[string]any)
+		if m["d"] != "Michael Curtiz" {
+			t.Errorf("binding = %v", m)
+		}
+	}
+	if _, ok := body["truncated"]; ok {
+		t.Errorf("untruncated response should omit truncated, got %v", body["truncated"])
+	}
+
+	// The clauses array form is the same query.
+	status2, body2 := postDatalog(t, ts.URL,
+		`{"clauses": ["?f director ?d", "?f language ?l"], "select": ["d", "l"]}`)
+	if status2 != http.StatusOK || !reflect.DeepEqual(body2["bindings"], body["bindings"]) {
+		t.Errorf("clauses form diverges: %d %v", status2, body2)
+	}
+
+	// Parallel execution is byte-identical.
+	_, body3 := postDatalog(t, ts.URL,
+		`{"query": "?f director ?d . ?f language ?l", "select": ["d", "l"], "parallelism": 4}`)
+	if !reflect.DeepEqual(body3["bindings"], body["bindings"]) {
+		t.Errorf("parallel bindings diverge: %v", body3)
+	}
+}
+
+func TestDatalogClassAndExplain(t *testing.T) {
+	_, ts := testServer(t, DefaultConfig())
+	status, body := postDatalog(t, ts.URL, `{"query": "?e:Book ?a ?v", "explain": true}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d body = %v", status, body)
+	}
+	b := body["bindings"].([]any)[0].(map[string]any)
+	if b["e"] != "Moby Dick" {
+		t.Errorf("class-restricted binding = %v", b)
+	}
+	plan := body["plan"].([]any)
+	if len(plan) != 1 || !strings.Contains(plan[0].(string), "scan") {
+		t.Errorf("plan = %v", plan)
+	}
+	if body["query"] != "?e:Book ?a ?v" {
+		t.Errorf("canonical query = %v", body["query"])
+	}
+}
+
+func TestDatalogLimitTruncation(t *testing.T) {
+	_, ts := testServer(t, DefaultConfig())
+	status, body := postDatalog(t, ts.URL, `{"query": "?e ?a ?v", "limit": 2}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if body["count"] != float64(2) || body["total"] != float64(5) || body["truncated"] != true {
+		t.Errorf("count/total/truncated = %v/%v/%v", body["count"], body["total"], body["truncated"])
+	}
+
+	// The server ceiling caps even greedy clients.
+	cfg := DefaultConfig()
+	cfg.MaxResults = 3
+	_, ts2 := testServer(t, cfg)
+	_, body = postDatalog(t, ts2.URL, `{"query": "?e ?a ?v", "limit": 100}`)
+	if body["count"] != float64(3) || body["total"] != float64(5) || body["truncated"] != true {
+		t.Errorf("ceiling: count/total/truncated = %v/%v/%v", body["count"], body["total"], body["truncated"])
+	}
+}
+
+func TestDatalogValidation(t *testing.T) {
+	_, ts := testServer(t, DefaultConfig())
+	cases := []struct {
+		name, body, wantSub string
+	}{
+		{"empty body", ``, "invalid request body"},
+		{"not json", `nope`, "invalid request body"},
+		{"unknown field", `{"query": "?e ?a ?v", "order_by": "e"}`, "unknown field"},
+		{"trailing data", `{"query": "?e ?a ?v"} {"again": true}`, "trailing data"},
+		{"neither form", `{"select": ["e"]}`, "one of query or clauses"},
+		{"both forms", `{"query": "?e ?a ?v", "clauses": ["?e ?a ?v"]}`, "not both"},
+		{"parse error", `{"query": "?e ?a"}`, "want 3 terms"},
+		{"unbound select", `{"query": "?e ?a ?v", "select": ["ghost"]}`, "appears in no clause"},
+		{"negative limit", `{"query": "?e ?a ?v", "limit": -1}`, "invalid limit"},
+		{"bad parallelism", `{"query": "?e ?a ?v", "parallelism": 99}`, "invalid parallelism"},
+		{"too many clauses", `{"query": "` + strings.Repeat(`?a ?b ?c . `, 17) + `"}`, "exceeds the limit"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, body := postDatalog(t, ts.URL, c.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d body = %v", status, body)
+			}
+			if msg, _ := body["error"].(string); !strings.Contains(msg, c.wantSub) {
+				t.Errorf("error = %q, want substring %q", msg, c.wantSub)
+			}
+			if body["status"] != float64(http.StatusBadRequest) {
+				t.Errorf("envelope status = %v", body["status"])
+			}
+		})
+	}
+}
+
+// TestDatalogMatchesQueryRoute is the unified-API property over HTTP: a
+// single-clause datalog query returns exactly the facts /v1/query
+// returns for the equivalent pattern, entity by entity.
+func TestDatalogMatchesQueryRoute(t *testing.T) {
+	_, ts := testServer(t, DefaultConfig())
+
+	status, qbody := get(t, ts.URL+"/v1/query?attr=language")
+	if status != http.StatusOK {
+		t.Fatalf("query status = %d", status)
+	}
+	var wantValues []any
+	for _, f := range qbody["facts"].([]any) {
+		wantValues = append(wantValues, f.(map[string]any)["value"])
+	}
+
+	status, dbody := postDatalog(t, ts.URL, `{"query": "?e language ?v", "select": ["v"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("datalog status = %d", status)
+	}
+	var gotValues []any
+	for _, b := range dbody["bindings"].([]any) {
+		gotValues = append(gotValues, b.(map[string]any)["v"])
+	}
+	if !reflect.DeepEqual(gotValues, wantValues) {
+		t.Errorf("datalog values %v != /v1/query values %v", gotValues, wantValues)
+	}
+	if dbody["total"] != qbody["total"] {
+		t.Errorf("totals diverge: %v vs %v", dbody["total"], qbody["total"])
+	}
+}
+
+// TestMethodNotAllowedEnvelope pins the 405 contract on every route:
+// JSON envelope, status field, Allow header — never the mux's text/plain.
+func TestMethodNotAllowedEnvelope(t *testing.T) {
+	_, ts := testServer(t, DefaultConfig())
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodPost, "/healthz", "GET, HEAD"},
+		{http.MethodDelete, "/readyz", "GET, HEAD"},
+		{http.MethodPost, "/metrics", "GET, HEAD"},
+		{http.MethodPost, "/v1/entity/Casablanca", "GET, HEAD"},
+		{http.MethodPut, "/v1/triples/Casablanca/director", "GET, HEAD"},
+		{http.MethodPost, "/v1/query", "GET, HEAD"},
+		{http.MethodGet, "/v1/datalog", "POST"},
+		{http.MethodGet, "/v1/admin/reload", "POST"},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, bytes.NewReader(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: status = %d", c.method, c.path, resp.StatusCode)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("%s %s: Content-Type = %q, want JSON envelope", c.method, c.path, ct)
+		}
+		if got := resp.Header.Get("Allow"); got != c.allow {
+			t.Errorf("%s %s: Allow = %q, want %q", c.method, c.path, got, c.allow)
+		}
+		var body map[string]any
+		if err := json.Unmarshal(raw, &body); err != nil {
+			t.Errorf("%s %s: non-JSON 405 body %q", c.method, c.path, raw)
+			continue
+		}
+		if body["status"] != float64(http.StatusMethodNotAllowed) || body["error"] == "" {
+			t.Errorf("%s %s: envelope = %v", c.method, c.path, body)
+		}
+	}
+
+	// HEAD keeps working on GET routes through the guard.
+	resp, err := http.Head(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD /healthz = %d", resp.StatusCode)
+	}
+}
+
+// TestQueryRouteByteEquivalence pins the /v1/query adapter after the
+// Pattern refactor: the handler's wire bytes are exactly a hand-built
+// response from the store's own LookupN — the URL form is a thin
+// adapter over store.Pattern, nothing more.
+func TestQueryRouteByteEquivalence(t *testing.T) {
+	s, ts := testServer(t, DefaultConfig())
+
+	for _, u := range []string{
+		"/v1/query?attr=language",
+		"/v1/query?class=Film",
+		"/v1/query?entity=Casablanca&attr=director",
+		"/v1/query?value=China",
+		"/v1/query?attr=language&limit=1",
+	} {
+		resp, err := http.Get(ts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+
+		req, _ := http.NewRequest(http.MethodGet, u, nil)
+		qs := req.URL.Query()
+		p := store.Pattern{
+			Entity: qs.Get("entity"),
+			Class:  qs.Get("class"),
+			Attr:   qs.Get("attr"),
+			Value:  qs.Get("value"),
+		}
+		limit := s.cfg.MaxResults
+		if raw := qs.Get("limit"); raw != "" {
+			if n, err := strconv.Atoi(raw); err == nil && n > 0 && n < limit {
+				limit = n
+			}
+		}
+		facts, total := testStore().LookupN(p, limit)
+		if facts == nil {
+			facts = []store.Fact{}
+		}
+		want, err := json.Marshal(struct {
+			Generation uint64       `json:"generation"`
+			Count      int          `json:"count"`
+			Total      int          `json:"total"`
+			Truncated  bool         `json:"truncated,omitempty"`
+			Facts      []store.Fact `json:"facts"`
+		}{s.Generation(), len(facts), total, total > len(facts), facts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.TrimRight(string(raw), "\n"); got != string(want) {
+			t.Errorf("%s:\n got %s\nwant %s", u, got, want)
+		}
+	}
+}

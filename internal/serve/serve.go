@@ -9,6 +9,7 @@
 //	GET  /v1/entity/{id}              all fused knowledge about one entity
 //	GET  /v1/triples/{entity}/{attr}  accepted values for one attribute
 //	GET  /v1/query?class=&attr=&value=[&entity=&limit=]  filtered fact search
+//	POST /v1/datalog                  conjunctive queries with joins (see API.md)
 //	POST /v1/admin/reload             hot-swap to a freshly loaded snapshot
 //	GET  /healthz                     liveness + health state machine + version
 //	GET  /readyz                      readiness (503 while starting/draining)
@@ -377,14 +378,19 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 // yields a JSON 500 instead of bubbling into the timeout wrapper's
 // plainer one).
 func (s *Server) buildHandler() http.Handler {
+	// Routes register without a method in the pattern and enforce it via
+	// methodGuard instead: the Go 1.22 mux answers a method mismatch with
+	// a text/plain 405, and every /v1 response — errors included — must
+	// wear the JSON envelope.
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.jsonRoute(s.handleHealthz, false))
-	mux.HandleFunc("GET /readyz", s.jsonRoute(s.handleReadyz, false))
-	mux.HandleFunc("GET /metrics", s.handleMetricsNegotiated(s.jsonRoute(s.handleMetrics, false)))
-	mux.HandleFunc("GET /v1/entity/{id}", s.jsonRoute(s.handleEntity, true))
-	mux.HandleFunc("GET /v1/triples/{entity}/{attr}", s.jsonRoute(s.handleTriples, true))
-	mux.HandleFunc("GET /v1/query", s.jsonRoute(s.handleQuery, true))
-	mux.HandleFunc("POST /v1/admin/reload", s.jsonRoute(s.handleReload, false))
+	mux.HandleFunc("/healthz", methodGuard(http.MethodGet, s.jsonRoute(s.handleHealthz, false)))
+	mux.HandleFunc("/readyz", methodGuard(http.MethodGet, s.jsonRoute(s.handleReadyz, false)))
+	mux.HandleFunc("/metrics", methodGuard(http.MethodGet, s.handleMetricsNegotiated(s.jsonRoute(s.handleMetrics, false))))
+	mux.HandleFunc("/v1/entity/{id}", methodGuard(http.MethodGet, s.jsonRoute(s.handleEntity, true)))
+	mux.HandleFunc("/v1/triples/{entity}/{attr}", methodGuard(http.MethodGet, s.jsonRoute(s.handleTriples, true)))
+	mux.HandleFunc("/v1/query", methodGuard(http.MethodGet, s.jsonRoute(s.handleQuery, true)))
+	mux.HandleFunc("/v1/datalog", methodGuard(http.MethodPost, s.jsonRoute(s.handleDatalog, false)))
+	mux.HandleFunc("/v1/admin/reload", methodGuard(http.MethodPost, s.jsonRoute(s.handleReload, false)))
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errBody(http.StatusNotFound, "unknown route"))
 	})
@@ -426,6 +432,26 @@ func (s *Server) buildHandler() http.Handler {
 	// observe wraps even that, so a recovered panic's 500 still carries a
 	// request ID and lands in the access log.
 	return s.observe(s.recoverPanic(shed))
+}
+
+// methodGuard enforces one HTTP method per route, answering mismatches
+// with the JSON error envelope (plus an Allow header) instead of the
+// mux's plain-text 405. GET routes accept HEAD too, matching what a
+// method-qualified mux pattern would do.
+func methodGuard(method string, h http.HandlerFunc) http.HandlerFunc {
+	allow := method
+	if method == http.MethodGet {
+		allow = "GET, HEAD"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == method || (method == http.MethodGet && r.Method == http.MethodHead) {
+			h(w, r)
+			return
+		}
+		w.Header().Set("Allow", allow)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errBody(http.StatusMethodNotAllowed, "method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow))
+	}
 }
 
 // handleMetricsNegotiated serves /metrics in two formats: the JSON
@@ -739,13 +765,13 @@ func (s *Server) handleQuery(g *generation, r *http.Request) routeResult {
 			return errRes(http.StatusBadRequest, "unknown query parameter %q", param)
 		}
 	}
-	q := store.Query{
+	q := store.Pattern{
 		Entity: qs.Get("entity"),
 		Class:  qs.Get("class"),
 		Attr:   qs.Get("attr"),
 		Value:  qs.Get("value"),
 	}
-	if q == (store.Query{}) {
+	if q == (store.Pattern{}) {
 		return errRes(http.StatusBadRequest, "at least one of entity, class, attr, value is required")
 	}
 	limit := s.cfg.MaxResults

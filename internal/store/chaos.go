@@ -117,7 +117,7 @@ func (q *chaosQuerier) Triples(entity, attr string) []Fact {
 	return q.base.Triples(entity, attr)
 }
 
-func (q *chaosQuerier) Lookup(query Query) []Fact {
+func (q *chaosQuerier) Lookup(p Pattern) []Fact {
 	q.ctl.inject(ChaosStageLookup)
-	return q.base.Lookup(query)
+	return q.base.Lookup(p)
 }

@@ -129,7 +129,7 @@ func (s *Sharded) Triples(entity, attr string) []Fact {
 // Lookup answers a query with output byte-identical to the equivalent
 // single Store's Lookup. Entity-constrained queries route to one shard;
 // everything else scatter-gathers and merges.
-func (s *Sharded) Lookup(q Query) []Fact {
+func (s *Sharded) Lookup(q Pattern) []Fact {
 	if q.Entity != "" {
 		return s.shards[ShardOf(q.Entity, len(s.shards))].Lookup(q)
 	}
@@ -147,7 +147,7 @@ func (s *Sharded) Lookup(q Query) []Fact {
 // each shard materialises a bounded prefix while still counting its full
 // total — the per-shard-limit property that keeps wildcard queries cheap
 // as shards multiply.
-func (s *Sharded) LookupN(q Query, limit int) (out []Fact, total int) {
+func (s *Sharded) LookupN(q Pattern, limit int) (out []Fact, total int) {
 	if q.Entity != "" {
 		return s.shards[ShardOf(q.Entity, len(s.shards))].LookupN(q, limit)
 	}
@@ -165,9 +165,92 @@ func (s *Sharded) LookupN(q Query, limit int) (out []Fact, total int) {
 	return mergeFacts(lists, limit), total
 }
 
+// Iterate streams the facts matching q in global canonical order, like
+// Store.Iterate. Entity-constrained patterns stream straight off one
+// shard; everything else merges the per-shard cursors lazily, so no
+// shard's result set is materialised.
+func (s *Sharded) Iterate(q Pattern, yield func(Fact) bool) bool {
+	if q.Entity != "" {
+		return s.shards[ShardOf(q.Entity, len(s.shards))].Iterate(q, yield)
+	}
+	cur := s.Select(q)
+	for {
+		f, ok := cur.Next()
+		if !ok {
+			return true
+		}
+		if !yield(f) {
+			return false
+		}
+	}
+}
+
+// CountEstimate returns an upper bound on the matches for q: one shard's
+// estimate for entity-constrained patterns, the sum of every shard's
+// otherwise. Like Store.CountEstimate it reads postings-list lengths
+// only — no statistics catalog, no scan.
+func (s *Sharded) CountEstimate(q Pattern) int {
+	if q.Entity != "" {
+		return s.shards[ShardOf(q.Entity, len(s.shards))].CountEstimate(q)
+	}
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.CountEstimate(q)
+	}
+	return total
+}
+
+// Select returns a pull cursor over the facts matching q in global
+// canonical order: one shard's cursor when the pattern names an entity, a
+// lazy k-way merge of every shard's cursor otherwise. Merging compares
+// with factLess alone, which is deterministic because identity keys pin
+// entities to shards (see mergeFacts).
+func (s *Sharded) Select(q Pattern) FactCursor {
+	if q.Entity != "" {
+		return s.shards[ShardOf(q.Entity, len(s.shards))].Select(q)
+	}
+	m := &mergeCursor{
+		cursors: make([]FactCursor, len(s.shards)),
+		heads:   make([]Fact, len(s.shards)),
+		ok:      make([]bool, len(s.shards)),
+	}
+	for i, sh := range s.shards {
+		m.cursors[i] = sh.Select(q)
+		m.heads[i], m.ok[i] = m.cursors[i].Next()
+	}
+	return m
+}
+
+// mergeCursor k-way merges per-shard cursors, pulling one fact ahead per
+// shard. Linear minimum selection over the shard count beats heap
+// bookkeeping at the 8–64 shard sizes this store runs at.
+type mergeCursor struct {
+	cursors []FactCursor
+	heads   []Fact
+	ok      []bool
+}
+
+func (m *mergeCursor) Next() (Fact, bool) {
+	best := -1
+	for i := range m.cursors {
+		if !m.ok[i] {
+			continue
+		}
+		if best < 0 || factLess(m.heads[i], m.heads[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Fact{}, false
+	}
+	f := m.heads[best]
+	m.heads[best], m.ok[best] = m.cursors[best].Next()
+	return f, true
+}
+
 // Scan answers a query by brute force over every shard, merged; the
 // reference semantics for Sharded.Lookup, mirroring Store.Scan.
-func (s *Sharded) Scan(q Query) []Fact {
+func (s *Sharded) Scan(q Pattern) []Fact {
 	lists := make([][]Fact, len(s.shards))
 	for i, sh := range s.shards {
 		lists[i] = sh.Scan(q)

@@ -49,16 +49,33 @@ type Fact struct {
 	Ancestors []string `json:"ancestors,omitempty"`
 }
 
-// Query selects facts. Empty fields are wildcards; set fields must all
-// match. Value matches hierarchically: a fact matches when its accepted
-// value equals Value or specialises it (Value is one of the fact's
-// ancestors).
-type Query struct {
+// Pattern selects facts. Empty fields are wildcards; set fields must all
+// match. Value matches hierarchically by default: a fact matches when its
+// accepted value equals Value or specialises it (Value is one of the
+// fact's ancestors). Exact disables the hierarchy expansion so Value must
+// match the accepted value verbatim — the semantics a join needs when a
+// variable binding is substituted into the value position.
+//
+// Pattern is the one query currency of the read path: Lookup/LookupN/
+// Iterate/Select on Store and Sharded, the /v1/query URL-parameter
+// adapter in internal/serve, and every clause of a datalog query
+// (internal/datalog) all speak it.
+type Pattern struct {
 	Entity string
 	Attr   string
 	Class  string
 	Value  string
+	// Exact requires Value to equal the fact's accepted value verbatim,
+	// with no hierarchical generalisation match.
+	Exact bool
 }
+
+// Query is the former name of Pattern.
+//
+// Deprecated: use Pattern. The type was renamed when the read surface
+// grew multi-clause datalog queries, where "query" means a conjunction of
+// patterns rather than one of them.
+type Query = Pattern
 
 // Store is the immutable, indexed snapshot. All methods are safe for
 // unsynchronised concurrent use: nothing is written after New returns.
@@ -223,20 +240,20 @@ func (s *Store) Facts() []Fact { return s.facts }
 // Entity returns every fact about the entity in canonical order, nil when
 // the entity is unknown.
 func (s *Store) Entity(id string) []Fact {
-	return s.gather(s.byEntity[id], Query{})
+	return s.gather(s.byEntity[id], Pattern{})
 }
 
 // Triples returns the accepted values for (entity, attr) — all of them,
 // with confidences and ancestors, since multi-truth attributes accept
 // several values at once.
 func (s *Store) Triples(entity, attr string) []Fact {
-	return s.gather(s.byEntityAttr[entityAttrKey(entity, attr)], Query{})
+	return s.gather(s.byEntityAttr[entityAttrKey(entity, attr)], Pattern{})
 }
 
 // candidates resolves the most selective postings list for q and strips
 // the fields that list already guarantees. all reports the wildcard
 // query, whose answer is every fact.
-func (s *Store) candidates(q Query) (cand []int32, rest Query, all bool) {
+func (s *Store) candidates(q Pattern) (cand []int32, rest Pattern, all bool) {
 	rest = q
 	switch {
 	case q.Entity != "" && q.Attr != "":
@@ -254,9 +271,13 @@ func (s *Store) candidates(q Query) (cand []int32, rest Query, all bool) {
 	case q.Value != "":
 		// The by-value postings already encode the hierarchy semantics
 		// (facts are posted under their value and every ancestor), so no
-		// residual value filter is needed.
+		// residual value filter is needed — unless the pattern is Exact,
+		// where the postings are a superset (they include specialisations)
+		// and the verbatim check stays in the residual.
 		cand = s.byValue[q.Value]
-		rest.Value = ""
+		if !q.Exact {
+			rest.Value = ""
+		}
 	default:
 		return nil, rest, true
 	}
@@ -266,7 +287,7 @@ func (s *Store) candidates(q Query) (cand []int32, rest Query, all bool) {
 // Lookup answers a query through the most selective index available, then
 // filters the candidate list on the remaining fields. Its output is
 // always identical to Scan's; only the cost differs.
-func (s *Store) Lookup(q Query) []Fact {
+func (s *Store) Lookup(q Pattern) []Fact {
 	cand, rest, all := s.candidates(q)
 	if all {
 		out := make([]Fact, len(s.facts))
@@ -281,7 +302,7 @@ func (s *Store) Lookup(q Query) []Fact {
 // match. limit <= 0 means unlimited. It backs the serving layer's
 // result cap: the response needs only the first page plus the true
 // total, so the tail is counted, never copied.
-func (s *Store) LookupN(q Query, limit int) (out []Fact, total int) {
+func (s *Store) LookupN(q Pattern, limit int) (out []Fact, total int) {
 	if limit <= 0 {
 		out = s.Lookup(q)
 		return out, len(out)
@@ -313,7 +334,7 @@ func (s *Store) LookupN(q Query, limit int) (out []Fact, total int) {
 // Scan answers a query by brute force over every fact. It is the
 // reference semantics for Lookup — tests assert equivalence and the
 // BenchmarkStoreLookup baseline measures the index advantage against it.
-func (s *Store) Scan(q Query) []Fact {
+func (s *Store) Scan(q Pattern) []Fact {
 	var out []Fact
 	for _, f := range s.facts {
 		if matches(f, q) {
@@ -323,10 +344,99 @@ func (s *Store) Scan(q Query) []Fact {
 	return out
 }
 
+// Iterate streams the facts matching q — the same facts Lookup returns,
+// in the same canonical order — into yield without materialising a
+// result slice. Iteration stops early when yield returns false; the
+// return value reports whether the walk ran to completion. It is the
+// allocation-free read the datalog executor's index-nested-loop probes
+// are built on: a probe per binding costs postings-walk time and zero
+// heap.
+func (s *Store) Iterate(q Pattern, yield func(Fact) bool) bool {
+	cand, rest, all := s.candidates(q)
+	if all {
+		for _, f := range s.facts {
+			if !yield(f) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, i := range cand {
+		if f := s.facts[i]; matches(f, rest) {
+			if !yield(f) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CountEstimate returns an upper bound on how many facts match q,
+// computed in O(1) from the postings list Lookup would walk — the length
+// of the most selective index entry, or the store size for the wildcard
+// pattern. No statistics catalog backs it: the indexes that answer the
+// query are themselves the statistic, which is exactly what the datalog
+// planner's greedy clause ordering needs (estimates that are free,
+// deterministic and never stale).
+func (s *Store) CountEstimate(q Pattern) int {
+	cand, _, all := s.candidates(q)
+	if all {
+		return len(s.facts)
+	}
+	return len(cand)
+}
+
+// Select returns a pull cursor over the facts matching q, in canonical
+// order — the same sequence Lookup materialises and Iterate pushes.
+// Cursors let a consumer interleave several streams (the sharded store's
+// k-way merge, the datalog executor's batch dispatcher) without buffering
+// whole relations.
+func (s *Store) Select(q Pattern) FactCursor {
+	cand, rest, all := s.candidates(q)
+	if all {
+		return &sliceCursor{facts: s.facts}
+	}
+	return &postingsCursor{facts: s.facts, cand: cand, rest: rest}
+}
+
+// postingsCursor walks one postings list applying the residual filter.
+type postingsCursor struct {
+	facts []Fact
+	cand  []int32
+	rest  Pattern
+	pos   int
+}
+
+func (c *postingsCursor) Next() (Fact, bool) {
+	for c.pos < len(c.cand) {
+		f := c.facts[c.cand[c.pos]]
+		c.pos++
+		if matches(f, c.rest) {
+			return f, true
+		}
+	}
+	return Fact{}, false
+}
+
+// sliceCursor walks a fact slice that needs no filtering.
+type sliceCursor struct {
+	facts []Fact
+	pos   int
+}
+
+func (c *sliceCursor) Next() (Fact, bool) {
+	if c.pos >= len(c.facts) {
+		return Fact{}, false
+	}
+	f := c.facts[c.pos]
+	c.pos++
+	return f, true
+}
+
 // gather materialises the facts at the candidate positions that survive
 // the residual filter. Postings are ascending, so output stays in
 // canonical order.
-func (s *Store) gather(cand []int32, rest Query) []Fact {
+func (s *Store) gather(cand []int32, rest Pattern) []Fact {
 	var out []Fact
 	for _, i := range cand {
 		if f := s.facts[i]; matches(f, rest) {
@@ -336,7 +446,7 @@ func (s *Store) gather(cand []int32, rest Query) []Fact {
 	return out
 }
 
-func matches(f Fact, q Query) bool {
+func matches(f Fact, q Pattern) bool {
 	if q.Entity != "" && f.Entity != q.Entity {
 		return false
 	}
@@ -347,6 +457,9 @@ func matches(f Fact, q Query) bool {
 		return false
 	}
 	if q.Value != "" && f.Value != q.Value {
+		if q.Exact {
+			return false
+		}
 		matched := false
 		for _, anc := range f.Ancestors {
 			if anc == q.Value {
