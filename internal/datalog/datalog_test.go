@@ -284,7 +284,9 @@ func multiClauseQueries(st *store.Store) []datalog.Query {
 			{Entity: v("b"), Attr: c(attr2), Value: v("w")},
 		}},
 		// Class-restricted sweep with a repeated variable inside one
-		// clause (entity equals value — usually empty, exercises checks).
+		// clause (entity equals value). Usually empty on pipeline data;
+		// TestRepeatedVariableWithinClause pins the non-empty case on a
+		// seeded fixture.
 		{Clauses: []datalog.Clause{
 			{Entity: v("e"), Attr: v("a"), Value: v("e"), Class: class},
 		}},
@@ -337,6 +339,54 @@ func TestMultiClauseMatchesReference(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// TestRepeatedVariableWithinClause pins the bind-before-check order for
+// a variable repeated inside one clause. The seeded fixture is
+// adversarial on both sides: facts whose entity equals their own value,
+// so the correct result is non-empty and an executor comparing against
+// a stale slot returns zero rows; and facts whose value equals the
+// PREVIOUS canonical-order fact's entity, so a stale-slot comparison
+// would also admit false positives, not just miss matches.
+func TestRepeatedVariableWithinClause(t *testing.T) {
+	facts := []store.Fact{
+		{Entity: "a", Class: "person", Attr: "knows", Value: "z"},
+		{Entity: "b", Class: "person", Attr: "knows", Value: "b"}, // self-loop
+		// Follows (b,knows,b) in canonical order with value equal to that
+		// fact's entity — the false-positive trap.
+		{Entity: "c", Class: "person", Attr: "knows", Value: "b"},
+		{Entity: "d", Class: "person", Attr: "knows", Value: "d"}, // self-loop
+		{Entity: "e", Class: "person", Attr: "knows", Value: "d"},
+	}
+	queries := []datalog.Query{
+		{Clauses: []datalog.Clause{
+			{Entity: datalog.V("x"), Attr: datalog.C("knows"), Value: datalog.V("x")},
+		}},
+		// The class-restricted sweep shape from multiClauseQueries, here
+		// guaranteed non-empty.
+		{Clauses: []datalog.Clause{
+			{Entity: datalog.V("e"), Attr: datalog.V("a"), Value: datalog.V("e"), Class: "person"},
+		}, Select: []string{"e"}},
+	}
+	flat := store.New(facts)
+	ctx := context.Background()
+	for qi, q := range queries {
+		want := refEval(flat, q)
+		if !rowsEqual(sortedRows(want), [][]string{{"b"}, {"d"}}) {
+			t.Fatalf("q%d: reference result %v, want the two self-loops [[b] [d]]", qi, want)
+		}
+		for name, src := range layouts(facts) {
+			for _, opts := range []datalog.Options{{Naive: true}, {}, {Parallelism: 2}, {Parallelism: 4}} {
+				res, err := datalog.Run(ctx, src, q, opts)
+				if err != nil {
+					t.Fatalf("q%d/%s/%+v: %v", qi, name, opts, err)
+				}
+				if res.Total != len(want) || !rowsEqual(sortedRows(res.Rows), sortedRows(want)) {
+					t.Fatalf("q%d/%s/%+v: got total=%d rows=%v, want %v", qi, name, opts, res.Total, res.Rows, want)
+				}
+			}
 		}
 	}
 }

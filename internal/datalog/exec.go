@@ -236,15 +236,12 @@ func newRunner(sh *shared) *runner {
 		d := d
 		st := &sh.steps[d]
 		r.yields[d] = func(f store.Fact) bool {
-			if c := st.checks[0]; c >= 0 && r.row[c] != f.Entity {
-				return true
-			}
-			if c := st.checks[1]; c >= 0 && r.row[c] != f.Attr {
-				return true
-			}
-			if c := st.checks[2]; c >= 0 && r.row[c] != f.Value {
-				return true
-			}
+			// Binds run before checks: a repeated variable's first
+			// occurrence (the bind) is always at an earlier position than
+			// its re-occurrence (the check), so the check must see THIS
+			// fact's binding, not whatever the previous fact left in the
+			// slot. A slot written before a failing check is harmless —
+			// the next fact's bind overwrites it before any deeper read.
 			if b := st.binds[0]; b >= 0 {
 				r.row[b] = f.Entity
 			}
@@ -253,6 +250,15 @@ func newRunner(sh *shared) *runner {
 			}
 			if b := st.binds[2]; b >= 0 {
 				r.row[b] = f.Value
+			}
+			if c := st.checks[0]; c >= 0 && r.row[c] != f.Entity {
+				return true
+			}
+			if c := st.checks[1]; c >= 0 && r.row[c] != f.Attr {
+				return true
+			}
+			if c := st.checks[2]; c >= 0 && r.row[c] != f.Value {
+				return true
 			}
 			if d == last {
 				return r.emit()
